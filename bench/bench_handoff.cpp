@@ -1,0 +1,68 @@
+// E7 (§3 smooth handoff): "In most cases, when an MH handoffs, it can
+// immediately receive multicast messages because either some other members
+// have already been there, or some reserved path has already been set up in
+// advance." Sweeps the per-MH handoff rate with the reservation scheme on
+// and off (ablation) and reports hot-vs-cold attach ratios, delivery
+// completeness and the reservation overhead.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ringnet;
+
+int main() {
+  bench::print_header(
+      "E7 / smooth handoff — reservation ablation",
+      "with path reservation, most handoffs land on an AP that is already "
+      "receiving (hot attach) and service continues immediately");
+
+  stats::Table table(
+      "handoff service continuity (3s run; sparse membership: 1 MH / 4 APs)",
+      {"handoff/s", "smooth", "handoffs", "hot", "cold", "hot %",
+       "delivery ratio", "order ok"});
+
+  for (const double rate : {0.5, 1.0, 2.0, 4.0}) {
+    for (const bool smooth : {true, false}) {
+      baseline::RunSpec spec;
+      // One MH per cell over 12 cells: under mobility, cells empty out
+      // regularly, so an arriving MH often finds an AP with no other
+      // member — exactly the case where reservations decide between a hot
+      // and a cold attach.
+      spec.config.hierarchy.num_brs = 2;
+      spec.config.hierarchy.ags_per_br = 1;
+      spec.config.hierarchy.aps_per_ag = 6;
+      spec.config.hierarchy.mhs_per_ap = 1;
+      spec.config.num_sources = 1;
+      spec.config.source.rate_hz = 200.0;
+      spec.config.options.smooth_handoff = smooth;
+      spec.config.mobility.handoff_rate_hz = rate;
+      spec.config.mobility.detach_gap = sim::msecs(20);
+      spec.run = sim::secs(3.0);
+      spec.seed = 99;
+
+      const auto r = run_experiment(spec);
+      const double hot_pct =
+          r.hot_attaches + r.cold_attaches == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(r.hot_attaches) /
+                    static_cast<double>(r.hot_attaches + r.cold_attaches);
+      table.row()
+          .cell(rate, 1)
+          .cell(smooth ? "on" : "off")
+          .cell(r.handoffs)
+          .cell(r.hot_attaches)
+          .cell(r.cold_attaches)
+          .cell(hot_pct, 1)
+          .cell(r.min_delivery_ratio, 3)
+          .cell(r.order_violation.has_value() ? "NO" : "yes");
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: with reservations ON the hot-attach share is high\n"
+      "(most arrivals find a live or reserved path: 'immediately receive');\n"
+      "with reservations OFF cold attaches dominate in sparse membership and\n"
+      "delivery dips during path building. Total order holds either way.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// E10: google-benchmark micro suite — the per-operation costs of the data
+// structures on the protocol's hot paths: MQ store/deliver, WQ add/assign,
+// token WTSNP update/lookup, wire codec, event scheduler and histogram.
+
+#include <benchmark/benchmark.h>
+
+#include "core/message_queue.hpp"
+#include "core/working_queue.hpp"
+#include "proto/messages.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ringnet;
+
+proto::DataMsg make_data(GlobalSeq g) {
+  proto::DataMsg m;
+  m.gid = GroupId{1};
+  m.source = NodeId{1};
+  m.lseq = g;
+  m.ordering_node = NodeId{1};
+  m.gseq = g;
+  m.epoch = 1;
+  m.payload_size = 256;
+  return m;
+}
+
+void BM_MessageQueueStoreDeliver(benchmark::State& state) {
+  core::MessageQueue mq(1024);
+  GlobalSeq g = 0;
+  for (auto _ : state) {
+    mq.store(make_data(g), sim::SimTime{0});
+    mq.mark_delivered(g);
+    ++g;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g));
+}
+BENCHMARK(BM_MessageQueueStoreDeliver);
+
+void BM_MessageQueueOutOfOrderWindow(benchmark::State& state) {
+  const auto window = static_cast<GlobalSeq>(state.range(0));
+  core::MessageQueue mq(16);
+  GlobalSeq base = 0;
+  for (auto _ : state) {
+    // Arrivals in reverse inside a window: worst-case gap materialization.
+    for (GlobalSeq i = window; i-- > 0;) {
+      mq.store(make_data(base + i), sim::SimTime{0});
+    }
+    for (GlobalSeq i = 0; i < window; ++i) mq.mark_delivered(base + i);
+    base += window;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(base));
+}
+BENCHMARK(BM_MessageQueueOutOfOrderWindow)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_WorkingQueueAddAssign(benchmark::State& state) {
+  const auto sources = static_cast<std::uint32_t>(state.range(0));
+  core::WorkingQueue wq;
+  std::vector<LocalSeq> next(sources, 0);
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    for (std::uint32_t s = 0; s < sources; ++s) {
+      proto::DataMsg m;
+      m.source = NodeId{s};
+      m.lseq = next[s]++;
+      wq.add(m);
+    }
+    std::size_t dropped = 0;
+    auto out = wq.assign(
+        [](proto::DataMsg& m) {
+          m.gseq = m.lseq;
+          return true;
+        },
+        dropped);
+    items += out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(items));
+}
+BENCHMARK(BM_WorkingQueueAddAssign)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_TokenUpdateAndLookup(benchmark::State& state) {
+  const auto ring = static_cast<std::uint32_t>(state.range(0));
+  proto::OrderingToken token(GroupId{1}, 1);
+  LocalSeq lseq = 0;
+  std::uint32_t holder = 0;
+  for (auto _ : state) {
+    token.prune_entries_of(NodeId{holder});
+    token.append_range(NodeId{holder}, NodeId{holder}, lseq, lseq + 9);
+    benchmark::DoNotOptimize(token.lookup(NodeId{holder}, lseq + 5));
+    lseq += 10;
+    holder = (holder + 1) % ring;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenUpdateAndLookup)->Arg(3)->Arg(8)->Arg(32);
+
+void BM_TokenSerialize(benchmark::State& state) {
+  proto::OrderingToken token(GroupId{1}, 1);
+  for (int i = 0; i < state.range(0); ++i) {
+    token.append_range(NodeId{static_cast<std::uint32_t>(i)},
+                       NodeId{static_cast<std::uint32_t>(i)}, 0, 99);
+  }
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    proto::WireWriter w;
+    token.serialize(w);
+    bytes += w.size();
+    benchmark::DoNotOptimize(w);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_TokenSerialize)->Arg(4)->Arg(32);
+
+void BM_DataMsgCodecRoundTrip(benchmark::State& state) {
+  const proto::Message msg = make_data(123456789);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto encoded = proto::encode(msg);
+    bytes += encoded.size();
+    auto decoded = proto::decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_DataMsgCodecRoundTrip);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(sim::SimTime{i}, [&sink] { ++sink; });
+    }
+    sched.run_to_completion();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  stats::Histogram h;
+  util::Rng rng(1);
+  for (auto _ : state) {
+    h.record(rng.next() & 0xFFFFF);
+  }
+  benchmark::DoNotOptimize(h.p99());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// E5 (Remark 3): "If totally-ordered property is not required, then
+// multicast using the RingNet hierarchy will be more efficient and message
+// latency will decrease due to the fact that ordering operations are not
+// required in the top logical ring." Compares the latency distribution of
+// the ordered protocol and the unordered variant on identical hierarchies.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ringnet;
+
+int main() {
+  bench::print_header(
+      "E5 / Remark 3 — ordered vs unordered latency",
+      "without ordering, latency drops (same hierarchy, same load); "
+      "throughput is identical");
+
+  stats::Table table("latency: RingNet ordered vs unordered (ms)",
+                     {"r", "lambda", "variant", "mean", "p50", "p90", "p99",
+                      "thr/MH"});
+  for (const std::size_t r : {3u, 6u, 12u}) {
+    for (const double rate : {100.0, 300.0}) {
+      baseline::RunSpec spec;
+      spec.config.hierarchy.num_brs = r;
+      spec.config.hierarchy.ags_per_br = 2;
+      spec.config.hierarchy.aps_per_ag = 2;
+      spec.config.hierarchy.mhs_per_ap = 1;
+      spec.config.num_sources = 2;
+      spec.config.source.rate_hz = rate;
+      spec.config.record_deliveries = false;
+      spec.run = sim::secs(2.0);
+
+      auto unordered = spec;
+      unordered.variant = baseline::Variant::RingNetUnordered;
+      const auto results = bench::run_all({spec, unordered});
+
+      for (std::size_t i = 0; i < 2; ++i) {
+        const auto& res = results[i];
+        table.row()
+            .cell(static_cast<std::uint64_t>(r))
+            .cell(rate, 0)
+            .cell(i == 0 ? "ordered" : "unordered")
+            .cell(res.lat_mean_us / 1e3, 2)
+            .cell(static_cast<double>(res.lat_p50_us) / 1e3, 2)
+            .cell(static_cast<double>(res.lat_p90_us) / 1e3, 2)
+            .cell(static_cast<double>(res.lat_p99_us) / 1e3, 2)
+            .cell(res.throughput_per_mh_hz, 1);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: the unordered rows show markedly lower latency at\n"
+      "every percentile (no token wait, no tau), identical throughput; the\n"
+      "ordered/unordered latency gap widens with ring size r.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E6 (§2 comparison with [16]): "Since all the control information has to
+// be rotated along the ring, it may lead to large latency and require large
+// buffers when the ring becomes large. Each logical ring within our
+// proposed RingNet model functions in a similar way, but it deals with only
+// a local scope of the whole group." Sweeps the number of access points and
+// compares the single-logical-ring protocol, RingNet (same AP count spread
+// over a hierarchy), and a fixed sequencer.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ringnet;
+
+int main() {
+  bench::print_header(
+      "E6 / related-work comparison — single logical ring vs RingNet vs "
+      "sequencer",
+      "the single ring's latency/buffers grow with member count; RingNet "
+      "keeps its rings local and stays flat");
+
+  stats::Table table("scaling with access-point count (2 sources, 100 msg/s "
+                     "each; latency in ms)",
+                     {"APs", "variant", "lat p50", "lat p99", "mq peak",
+                      "thr/MH", "order ok"});
+
+  for (const std::size_t aps : {4u, 8u, 16u, 32u, 64u}) {
+    std::vector<baseline::RunSpec> specs;
+
+    // Single logical ring over all APs.
+    baseline::RunSpec ring;
+    ring.variant = baseline::Variant::SingleRing;
+    ring.flat_aps = aps;
+    ring.flat_mhs_per_ap = 1;
+    ring.config.num_sources = 2;
+    ring.config.source.rate_hz = 100.0;
+    // Measure the undelivered window, not the handoff retention lag.
+    ring.config.options.mq_retention = 0;
+    ring.run = sim::secs(2.0);
+    specs.push_back(ring);
+
+    // RingNet hierarchy with the same AP count: 4 BRs, 2 AGs each.
+    baseline::RunSpec hier = ring;
+    hier.variant = baseline::Variant::RingNet;
+    hier.config.hierarchy.num_brs = 4;
+    hier.config.hierarchy.ags_per_br = 2;
+    hier.config.hierarchy.aps_per_ag = std::max<std::size_t>(1, aps / 8);
+    hier.config.hierarchy.mhs_per_ap = 1;
+    specs.push_back(hier);
+
+    // Fixed sequencer star.
+    baseline::RunSpec seq = ring;
+    seq.variant = baseline::Variant::Sequencer;
+    specs.push_back(seq);
+
+    const auto results = bench::run_all(specs);
+    const char* names[] = {"SingleRing", "RingNet", "Sequencer"};
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto& r = results[i];
+      table.row()
+          .cell(static_cast<std::uint64_t>(aps))
+          .cell(names[i])
+          .cell(static_cast<double>(r.lat_p50_us) / 1e3, 2)
+          .cell(static_cast<double>(r.lat_p99_us) / 1e3, 2)
+          .cell(r.mq_peak, 0)
+          .cell(r.throughput_per_mh_hz, 1)
+          .cell(r.order_violation.has_value() ? "NO" : "yes");
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: SingleRing latency and buffer peaks climb roughly\n"
+      "linearly with the AP count (token rotation spans every AP); RingNet\n"
+      "stays nearly flat because its top ring stays at 4 BRs regardless of\n"
+      "how many APs hang below; the sequencer is flat but is a single\n"
+      "bottleneck/failure point the paper's design avoids.\n");
+  return 0;
+}

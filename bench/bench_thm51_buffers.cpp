@@ -1,0 +1,88 @@
+// E4 (Theorem 5.1, buffer bound): "the size of WQ can be set to
+// s*lambda*(Max(Torder,Ttransmit)+tau); the size [of MQ] can be set to
+// s*lambda*Torder" — i.e. buffers are bounded and scale with s*lambda and
+// the rotation/assignment times. Peak occupancies are measured with the
+// handoff retention disabled (the theorem has no retention policy).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace ringnet;
+
+int main() {
+  bench::print_header(
+      "E4 / Theorem 5.1 — buffer bounds",
+      "WQ <= s*lambda*(Max(Torder,Ttransmit)+tau), MQ <= s*lambda*Torder "
+      "(plus delivery/ack lag the theorem's instant-tagging model ignores)");
+
+  struct Point {
+    std::size_t s;
+    double rate;
+    int tau_ms;
+  };
+  const std::vector<Point> points = {
+      {1, 100, 5}, {2, 100, 5},  {4, 100, 5},  {4, 200, 5},
+      {4, 400, 5}, {2, 200, 2},  {2, 200, 10}, {2, 200, 20},
+  };
+
+  std::vector<baseline::RunSpec> specs;
+  for (const auto& p : points) {
+    baseline::RunSpec spec;
+    spec.config.hierarchy.num_brs = 4;
+    spec.config.hierarchy.ags_per_br = 1;
+    spec.config.hierarchy.aps_per_ag = 1;
+    spec.config.hierarchy.mhs_per_ap = 1;
+    // Theorem 5.1 excludes retransmission and assumes every link carries
+    // the offered load; a lossy 10 Mb/s cell at s*lambda = 1600 msg/s
+    // violates that precondition with radio-queueing spikes (see E8 for
+    // the lossy regime).
+    auto wireless = net::ChannelModel::wireless(0.0);
+    wireless.burst_loss = false;
+    wireless.bandwidth_bps = 100e6;
+    spec.config.hierarchy.wireless = wireless;
+    spec.config.num_sources = p.s;
+    spec.config.source.rate_hz = p.rate;
+    spec.config.options.tau = sim::msecs(p.tau_ms);
+    spec.config.options.mq_retention = 0;  // measure the theorem's quantity
+    spec.config.record_deliveries = false;
+    spec.run = sim::secs(2.0);
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+
+  stats::Table table(
+      "peak buffer occupancy (messages) vs Theorem 5.1 sizing",
+      {"s", "lambda", "tau ms", "WQ bound", "WQ peak", "MQ bound(+lag)",
+       "MQ peak", "bounded"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const auto bounds = core::analyze(specs[i].config);
+    // WQ uses the paper's sizing directly; the MQ budget uses the tight
+    // ordering constant plus delivery/ack lag (core/analysis.hpp, validated
+    // here and discussed in EXPERIMENTS.md E4).
+    const double wq_bound = bounds.wq_bound_msgs();
+    const double mq_bound =
+        bounds.mq_bound_msgs(specs[i].config.options.ack_period.seconds());
+    const auto& r = results[i];
+    // 2x slack: the bound models steady flow, while τ-tick batch assignment
+    // creates transient occupancy spikes at high rates.
+    const bool ok = r.wq_peak <= wq_bound * 2.0 + 4 &&
+                    r.mq_peak <= mq_bound * 2.0 + 4;
+    table.row()
+        .cell(static_cast<std::uint64_t>(p.s))
+        .cell(p.rate, 0)
+        .cell(static_cast<std::int64_t>(p.tau_ms))
+        .cell(wq_bound, 1)
+        .cell(r.wq_peak, 0)
+        .cell(mq_bound, 1)
+        .cell(r.mq_peak, 0)
+        .cell(ok ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: peaks stay within a small constant of the analytic\n"
+      "sizing and scale linearly with s*lambda (rows 1-5) and with tau\n"
+      "(rows 6-8, WQ only) — 'all the buffers only need limited sizes'.\n");
+  return 0;
+}

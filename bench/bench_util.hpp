@@ -1,0 +1,35 @@
+#pragma once
+// Shared helpers for the experiment benches: parallel sweep execution (one
+// deterministic Simulation per sweep point, fanned across a thread pool)
+// and table headers. Analytic bounds live in the library proper
+// (core/analysis.hpp) so applications can size deployments with the same
+// model the benches validate.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline/harness.hpp"
+#include "core/analysis.hpp"
+#include "stats/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ringnet::bench {
+
+/// Run `specs` concurrently (deterministic per spec), preserving order.
+inline std::vector<baseline::RunResult> run_all(
+    const std::vector<baseline::RunSpec>& specs) {
+  return util::parallel_map<baseline::RunResult>(
+      specs.size(),
+      [&specs](std::size_t i) { return baseline::run_experiment(specs[i]); });
+}
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n", title.c_str());
+  std::printf("# Paper claim: %s\n", claim.c_str());
+  std::printf("################################################################\n\n");
+}
+
+}  // namespace ringnet::bench
