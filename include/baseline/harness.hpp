@@ -1,0 +1,81 @@
+#pragma once
+// Experiment harness: one RunSpec describes a deterministic simulation of a
+// protocol variant over a deployment; run_experiment() executes it
+// (warmup -> measured run -> source stop -> drain) and distills the
+// trace/metrics into a flat RunResult the benches tabulate.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace ringnet::baseline {
+
+enum class Variant : std::uint8_t {
+  RingNet,           // the paper's protocol: hierarchy + token ordering
+  RingNetUnordered,  // Remark 3: same hierarchy, no ordering pass
+  SingleRing,        // related work [16]: one logical ring over every AP
+  Sequencer,         // fixed central sequencer (star)
+};
+
+struct RunSpec {
+  core::ProtocolConfig config;
+  Variant variant = Variant::RingNet;
+  // Flat-deployment shape used by the SingleRing / Sequencer baselines.
+  std::size_t flat_aps = 8;
+  std::size_t flat_mhs_per_ap = 1;
+  sim::SimTime warmup = sim::secs(0.5);
+  sim::SimTime run = sim::secs(2.0);
+  sim::SimTime drain = sim::secs(1.0);
+  std::uint64_t seed = 1;
+};
+
+struct RunResult {
+  // Delivery volume
+  double throughput_per_mh_hz = 0.0;
+  double min_delivery_ratio = 1.0;
+  // End-to-end latency (submit -> MH delivery), microseconds
+  double lat_mean_us = 0.0;
+  std::uint64_t lat_p50_us = 0;
+  std::uint64_t lat_p90_us = 0;
+  std::uint64_t lat_p99_us = 0;
+  std::uint64_t lat_max_us = 0;
+  // Ordering latency (submit -> gseq assignment), microseconds
+  std::uint64_t assign_p99_us = 0;
+  std::uint64_t assign_max_us = 0;
+  // Buffers
+  double wq_peak = 0.0;
+  double mq_peak = 0.0;
+  // Reliability work
+  std::uint64_t retransmits = 0;
+  std::uint64_t really_lost = 0;
+  std::uint64_t mh_gaps_skipped = 0;
+  // Token machinery
+  std::uint64_t tokens_held = 0;
+  std::uint64_t token_regenerations = 0;
+  std::uint64_t duplicate_tokens_destroyed = 0;
+  // Mobility
+  std::uint64_t handoffs = 0;
+  std::uint64_t hot_attaches = 0;
+  std::uint64_t cold_attaches = 0;
+  // Correctness
+  std::optional<std::string> order_violation;
+};
+
+using RunHook =
+    std::function<void(core::RingNetProtocol&, sim::Simulation&)>;
+
+/// Resolve the variant into a concrete ProtocolConfig (flat baselines are
+/// expressed as degenerate hierarchies; unordered switches the ordering
+/// pass off).
+core::ProtocolConfig effective_config(const RunSpec& spec);
+
+RunResult run_experiment(const RunSpec& spec);
+RunResult run_experiment(const RunSpec& spec, const RunHook& hook);
+
+}  // namespace ringnet::baseline

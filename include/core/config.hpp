@@ -1,0 +1,64 @@
+#pragma once
+// ProtocolConfig: every tunable of a RingNet deployment/simulation in one
+// aggregate — the hierarchy shape and channel models, source workload,
+// mobility process, and the protocol option block (token cadence, ack
+// cadence, membership batching, retention, failure detection, handoff
+// reservations). core::analyze() consumes the same structure, so analytic
+// sizing and simulation always describe the same deployment.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "topo/hierarchy.hpp"
+
+namespace ringnet::core {
+
+struct SourceConfig {
+  double rate_hz = 100.0;            // per-source submit rate
+  std::uint32_t payload_size = 256;  // bytes per multicast payload
+};
+
+struct MobilityConfig {
+  double handoff_rate_hz = 0.0;            // per-MH handoff rate (Poisson)
+  sim::SimTime detach_gap = sim::msecs(20);  // radio silence per handoff
+};
+
+struct ProtocolOptions {
+  // Message-Ordering cadence: sources' messages are staged at their BR and
+  // folded into the WQ every tau (the paper's batching interval).
+  sim::SimTime tau = sim::msecs(5);
+  // Token holding time at each ordering node per visit.
+  sim::SimTime token_hold = sim::usecs(100);
+  // DeliveryAck cadence from each MH (WT freshness).
+  sim::SimTime ack_period = sim::msecs(10);
+  // Membership update batching window (§3 batched update scheme).
+  sim::SimTime membership_batch = sim::msecs(50);
+  // Failure detection: ring heartbeats and the miss budget.
+  sim::SimTime heartbeat_period = sim::msecs(25);
+  int heartbeat_miss_limit = 4;
+  // MQ ValidFront lag: delivered entries retained for handoff resync.
+  std::size_t mq_retention = 1024;
+  // §3 smooth handoff: keep reserved distribution paths on neighbor APs.
+  bool smooth_handoff = true;
+  // Cold-attach penalty: time to graft a new distribution path.
+  sim::SimTime path_build = sim::msecs(100);
+  // Link-layer ARQ: retransmit timeout and attempt budget per hop.
+  sim::SimTime retx_timeout = sim::msecs(30);
+  int max_retx = 10;
+  // Total-order Message-Ordering on the top ring. Off = the Remark 3
+  // unordered variant (same hierarchy, no token wait).
+  bool ordered = true;
+};
+
+struct ProtocolConfig {
+  topo::HierarchyConfig hierarchy;
+  std::size_t num_sources = 1;
+  SourceConfig source;
+  MobilityConfig mobility;
+  ProtocolOptions options;
+  // Keep a per-delivery log for total-order checking (memory ~ deliveries).
+  bool record_deliveries = true;
+};
+
+}  // namespace ringnet::core

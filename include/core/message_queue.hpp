@@ -1,0 +1,144 @@
+#pragma once
+// MessageQueue (the paper's MQ): an ordered buffer of globally-sequenced
+// messages keyed by gseq. It absorbs out-of-order arrival (gap windows),
+// exposes the contiguous deliverable prefix, and — once entries are
+// delivered/acked — retains a bounded tail (`retention` entries behind the
+// delivered watermark, the ValidFront lag) so handed-off members can
+// resynchronize without end-to-end retransmission.
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "sim/time.hpp"
+
+namespace ringnet::core {
+
+class MessageQueue {
+ public:
+  explicit MessageQueue(std::size_t retention) : retention_(retention) {}
+
+  /// Insert a sequenced message. Returns false on duplicate (already
+  /// buffered, or at/below the pruned ValidFront).
+  bool store(const proto::DataMsg& msg, sim::SimTime now) {
+    if (have_delivered_ && msg.gseq <= delivered_) {
+      return false;  // stale: already delivered (possibly pruned)
+    }
+    const bool inserted = entries_.emplace(msg.gseq, Entry{msg, now}).second;
+    if (inserted && (!max_seen_valid_ || msg.gseq > max_seen_)) {
+      max_seen_ = msg.gseq;
+      max_seen_valid_ = true;
+    }
+    return inserted;
+  }
+
+  /// Mark one gseq delivered; advances the contiguous delivered watermark
+  /// and prunes everything older than (watermark - retention).
+  void mark_delivered(GlobalSeq gseq) {
+    auto it = entries_.find(gseq);
+    if (it != entries_.end()) it->second.delivered = true;
+    // Advance the watermark over the contiguous delivered prefix.
+    while (true) {
+      auto front = entries_.find(next_expected_);
+      if (front == entries_.end() || !front->second.delivered) break;
+      delivered_ = next_expected_;
+      have_delivered_ = true;
+      ++next_expected_;
+    }
+    prune();
+  }
+
+  /// The contiguous run of undelivered messages starting at next_expected.
+  std::vector<proto::DataMsg> deliverable() const {
+    std::vector<proto::DataMsg> out;
+    GlobalSeq g = next_expected_;
+    for (auto it = entries_.find(g); it != entries_.end() && it->first == g;
+         it = entries_.find(++g)) {
+      if (it->second.delivered) continue;
+      out.push_back(it->second.msg);
+    }
+    return out;
+  }
+
+  std::optional<proto::DataMsg> fetch(GlobalSeq gseq) const {
+    const auto it = entries_.find(gseq);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.msg;
+  }
+
+  bool contains(GlobalSeq gseq) const { return entries_.count(gseq) != 0; }
+
+  /// When the entry is still materialized, the sim time it was stored.
+  std::optional<sim::SimTime> stored_at(GlobalSeq gseq) const {
+    const auto it = entries_.find(gseq);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.stored_at;
+  }
+
+  /// Gseqs in [next_expected, horizon] that have not arrived (gap list).
+  std::vector<GlobalSeq> missing_before(GlobalSeq horizon) const {
+    std::vector<GlobalSeq> out;
+    for (GlobalSeq g = next_expected_; g <= horizon; ++g) {
+      if (entries_.find(g) == entries_.end()) out.push_back(g);
+    }
+    return out;
+  }
+
+  /// Oldest gseq this queue can still serve: the start of the retained
+  /// prefix, or next_expected when nothing older is materialized. A hole
+  /// at the *front* (oldest entry above next_expected because it is still
+  /// in flight) does not advance the front — only pruning does.
+  GlobalSeq valid_front() const {
+    if (entries_.empty()) return next_expected_;
+    return std::min(next_expected_, entries_.begin()->first);
+  }
+
+  /// Force the expected cursor forward (gap skip after retention loss).
+  void skip_to(GlobalSeq gseq) {
+    if (gseq <= next_expected_) return;
+    next_expected_ = gseq;
+    if (gseq > 0) {
+      delivered_ = gseq - 1;
+      have_delivered_ = true;
+    }
+    prune();
+  }
+
+  GlobalSeq next_expected() const { return next_expected_; }
+  GlobalSeq max_seen() const { return max_seen_valid_ ? max_seen_ : 0; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t retention() const { return retention_; }
+  void set_retention(std::size_t r) {
+    retention_ = r;
+    prune();
+  }
+
+ private:
+  struct Entry {
+    proto::DataMsg msg;
+    sim::SimTime stored_at;
+    bool delivered = false;
+  };
+
+  void prune() {
+    if (!have_delivered_) return;
+    // Keep `retention_` delivered entries behind the watermark.
+    if (delivered_ + 1 < retention_) return;
+    const GlobalSeq cut = delivered_ + 1 - retention_;  // first kept gseq
+    entries_.erase(entries_.begin(), entries_.lower_bound(cut));
+  }
+
+  std::map<GlobalSeq, Entry> entries_;
+  GlobalSeq next_expected_ = 0;
+  GlobalSeq delivered_ = 0;
+  bool have_delivered_ = false;
+  GlobalSeq max_seen_ = 0;
+  bool max_seen_valid_ = false;
+  std::size_t retention_;
+};
+
+}  // namespace ringnet::core

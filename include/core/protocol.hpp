@@ -1,0 +1,289 @@
+#pragma once
+// RingNetProtocol: the paper's token-ring total-order multicast engine run
+// inside a deterministic Simulation. One instance owns the whole deployment:
+// the Figure 1 hierarchy, per-BR ordering state (staging + WQ + MQ + group
+// view), per-MH delivery state, the rotating OrderingToken with its WTSNP
+// table, link-layer ARQ over the channel models, DeliveryAck watermarks,
+// batched membership, heartbeat failure detection with ring repair and
+// Token-Regeneration, smooth-handoff mobility, and the metrics/trace hooks
+// the experiment benches read.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/message_queue.hpp"
+#include "core/types.hpp"
+#include "core/working_queue.hpp"
+#include "net/channel.hpp"
+#include "proto/messages.hpp"
+#include "sim/simulation.hpp"
+#include "stats/histogram.hpp"
+#include "topo/hierarchy.hpp"
+
+namespace ringnet::core {
+
+/// A border router's eventually-consistent view of group membership
+/// (mh -> serving AP), maintained through the batched update scheme.
+/// Per-MH event sequence numbers make relayed applications idempotent and
+/// reordering-safe.
+class GroupView {
+ public:
+  void apply(NodeId mh, NodeId ap, std::uint64_t seq) {
+    auto& slot = state_[mh];
+    if (seq < slot.seq) return;
+    slot.seq = seq;
+    slot.ap = ap;
+  }
+
+  std::size_t member_count() const {
+    std::size_t n = 0;
+    for (const auto& [mh, slot] : state_) {
+      (void)mh;
+      if (slot.ap.valid()) ++n;
+    }
+    return n;
+  }
+
+  std::optional<NodeId> ap_of(NodeId mh) const {
+    const auto it = state_.find(mh);
+    if (it == state_.end() || !it->second.ap.valid()) return std::nullopt;
+    return it->second.ap;
+  }
+
+ private:
+  struct Slot {
+    NodeId ap = NodeId::invalid();
+    std::uint64_t seq = 0;
+  };
+  std::unordered_map<NodeId, Slot> state_;
+};
+
+/// Per-delivery record used to verify the protocol's core guarantee: every
+/// member observes the same total order.
+class DeliveryLog {
+ public:
+  void record(NodeId mh, GlobalSeq gseq, NodeId source, LocalSeq lseq) {
+    per_mh_[mh].push_back(Rec{gseq, source, lseq});
+  }
+
+  bool empty() const { return per_mh_.empty(); }
+
+  /// nullopt when the log is violation-free: per-member gseq sequences are
+  /// strictly increasing and every member agrees on which (source, lseq)
+  /// each gseq names.
+  std::optional<std::string> check_total_order() const;
+
+ private:
+  struct Rec {
+    GlobalSeq gseq;
+    NodeId source;
+    LocalSeq lseq;
+  };
+  std::unordered_map<NodeId, std::vector<Rec>> per_mh_;
+};
+
+class RingNetProtocol;
+
+/// Mobile host: reorder buffer + delivery bookkeeping.
+class MhNode {
+ public:
+  MhNode(NodeId id, NodeId ap) : id_(id), ap_(ap) {}
+
+  NodeId id() const { return id_; }
+  NodeId ap() const { return ap_; }
+  bool attached() const { return attached_; }
+  sim::SimTime last_delivery_at() const { return last_delivery_; }
+  std::uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  friend class RingNetProtocol;
+
+  NodeId id_;
+  NodeId ap_;
+  bool attached_ = true;
+  MessageQueue mq_{4};  // reorder buffer; tiny retention for dedupe
+  std::unordered_set<std::uint64_t> seen_unordered_;
+  std::uint64_t delivered_ = 0;
+  sim::SimTime last_delivery_ = sim::SimTime::zero();
+};
+
+/// Border router / ordering node state.
+class BrNode {
+ public:
+  BrNode(NodeId id, std::size_t mq_retention) : id_(id), mq_(mq_retention) {}
+
+  NodeId id() const { return id_; }
+  bool alive() const { return alive_; }
+  const GroupView& group_view() const { return view_; }
+  MessageQueue& mq() { return mq_; }
+  WorkingQueue& wq() { return wq_; }
+
+ private:
+  friend class RingNetProtocol;
+
+  struct MemberEvent {
+    NodeId mh;
+    NodeId ap;  // invalid() == detach
+    std::uint64_t seq;
+  };
+
+  NodeId id_;
+  bool alive_ = true;
+  std::deque<proto::DataMsg> staging_;  // waiting for the next tau tick
+  WorkingQueue wq_;
+  MessageQueue mq_;
+  GroupView view_;
+  std::unordered_map<NodeId, GlobalSeq> member_wm_;  // next-expected per MH
+  GlobalSeq acked_floor_ = 0;  // gseqs below are subtree-acked in mq_
+  std::vector<MemberEvent> pending_membership_;
+  sim::SimTime last_hb_from_prev_ = sim::SimTime::zero();
+};
+
+/// Poisson handoff process over the MH population.
+class MobilityModel {
+ public:
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+ private:
+  friend class RingNetProtocol;
+  bool running_ = false;
+};
+
+class RingNetProtocol {
+ public:
+  RingNetProtocol(sim::Simulation& sim, ProtocolConfig config);
+
+  /// Arm every periodic process (sources, token, acks, heartbeats,
+  /// membership flushes, mobility) starting at the current sim time.
+  void start();
+  void stop_sources();
+
+  /// Fail a node abruptly (used on BRs: the token-loss scenario).
+  void crash_node(NodeId id);
+
+  /// Inject a stale duplicate token at `at` (Multiple-Token scenario).
+  void inject_duplicate_token(NodeId at, std::uint64_t epoch);
+
+  const topo::Topology& topology() const { return topo_; }
+  const ProtocolConfig& config() const { return config_; }
+  BrNode& node(NodeId id) { return *brs_.at(id); }
+  const std::vector<std::unique_ptr<MhNode>>& mhs() const { return mh_list_; }
+  MobilityModel& mobility() { return mobility_; }
+  const DeliveryLog& deliveries() const { return deliveries_; }
+
+  std::uint64_t total_sent() const { return total_sent_; }
+  const stats::Histogram& lat_hist() const { return lat_hist_; }
+  const stats::Histogram& assign_hist() const { return assign_hist_; }
+
+ private:
+  struct SourceState {
+    std::uint32_t index;
+    NodeId source_id;  // tier-less id carried in DataMsg.source
+    NodeId mh;
+    LocalSeq next_lseq = 0;
+    std::deque<proto::DataMsg> parked;  // submitted while detached
+    std::vector<sim::SimTime> submit_at;  // indexed by lseq
+  };
+
+  // --- wiring -------------------------------------------------------------
+  void start_sources();
+  void source_tick(std::size_t idx);
+  void submit(SourceState& src, proto::DataMsg msg);
+  void uplink_to_br(const proto::DataMsg& msg, NodeId mh);
+
+  // --- ordering -----------------------------------------------------------
+  void tau_tick(NodeId br);
+  void token_arrive(NodeId br, proto::OrderingToken token);
+  void distribute(NodeId origin, const std::vector<proto::DataMsg>& batch);
+  void br_receive_ordered(NodeId br, const proto::DataMsg& msg);
+  void forward_down(NodeId br, const proto::DataMsg& msg);
+  void mh_receive(NodeId mh, const proto::DataMsg& msg, bool retransmission);
+  void deliver_at_mh(MhNode& node, const proto::DataMsg& msg);
+
+  // --- acks / repair ------------------------------------------------------
+  void ack_tick(NodeId mh);
+  void br_receive_ack(NodeId br, NodeId mh, GlobalSeq next_expected);
+
+  // --- membership ---------------------------------------------------------
+  void queue_membership_event(NodeId mh, NodeId ap);
+  void membership_flush_tick(NodeId br);
+  void membership_relay(NodeId br, std::size_t hops_left,
+                        std::vector<BrNode::MemberEvent> events);
+
+  // --- failure handling ---------------------------------------------------
+  void heartbeat_tick(NodeId br);
+  void handle_br_failure(NodeId dead);
+  void rejoin_ring(NodeId br);
+  void regenerate_token();
+
+  // --- mobility -----------------------------------------------------------
+  void schedule_next_handoff(NodeId mh);
+  void perform_handoff(NodeId mh);
+  void complete_attach(NodeId mh, NodeId ap);
+  bool ap_is_hot(NodeId ap, NodeId exclude_mh) const;
+
+  // --- helpers ------------------------------------------------------------
+  NodeId next_alive_br(NodeId from) const;
+  NodeId leader_br() const;
+  sim::SimTime hop_delay(const net::ChannelModel& model, NodeId link_key,
+                         std::uint32_t bytes);
+  net::LossProcess& loss_process(NodeId link_key,
+                                 const net::ChannelModel& model);
+  sim::SimTime uplink_delay(NodeId mh, std::uint32_t bytes);
+  sim::SimTime downlink_delay(NodeId mh, std::uint32_t bytes);
+  void note_wq_depth(const BrNode& br);
+  void mark_acked(BrNode& br);
+  std::uint32_t data_bytes() const {
+    // Envelope tag + DataMsg descriptor (proto::wire_size) + payload.
+    return 41 + config_.source.payload_size;
+  }
+
+  sim::Simulation& sim_;
+  ProtocolConfig config_;
+  topo::Topology topo_;
+
+  std::unordered_map<NodeId, std::unique_ptr<BrNode>> brs_;
+  std::vector<std::unique_ptr<MhNode>> mh_list_;
+  std::unordered_map<NodeId, MhNode*> mh_by_id_;
+  std::unordered_map<NodeId, std::vector<NodeId>> br_members_;  // attached
+  std::vector<SourceState> sources_;
+  std::unordered_map<NodeId, std::vector<std::size_t>> sources_on_mh_;
+
+  std::vector<NodeId> alive_ring_;  // current top ring (repairs shrink it)
+  MobilityModel mobility_;
+  DeliveryLog deliveries_;
+  stats::Histogram lat_hist_;     // end-to-end, microseconds
+  stats::Histogram assign_hist_;  // submit -> gseq assignment, microseconds
+
+  std::unordered_map<NodeId, net::LossProcess> loss_;
+  std::unordered_map<NodeId, std::uint64_t> membership_seq_;
+  // Every assigned message (+ assignment time), keyed by gseq — the
+  // stand-in for fetching a missing copy from a peer ordering node's MQ
+  // when a BR has a hole (e.g. it was wrongly ejected from the ring).
+  std::unordered_map<GlobalSeq, std::pair<proto::DataMsg, sim::SimTime>>
+      assigned_archive_;
+
+  std::uint64_t total_sent_ = 0;
+  bool sources_running_ = false;
+  bool started_ = false;
+
+  // Token custody (simulator-level ground truth used for loss detection).
+  std::uint64_t active_token_serial_ = 1;
+  std::uint64_t next_token_serial_ = 2;
+  std::uint64_t current_epoch_ = 1;
+  NodeId token_custodian_ = NodeId::invalid();
+  bool token_lost_ = false;
+  bool regen_pending_ = false;
+  GlobalSeq max_assigned_gseq_ = 0;
+  bool any_assigned_ = false;
+};
+
+}  // namespace ringnet::core

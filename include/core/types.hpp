@@ -1,0 +1,77 @@
+#pragma once
+// Fundamental identifier and sequence-number types shared by every layer.
+//
+// NodeId encodes the RingNet tier (Figure 1: BRT / AGT / APT / MHT) in its
+// top byte so an id is self-describing in traces and tables; plain ids
+// (tier bits zero) print as "N<index>" and are used by unit tests and
+// micro-benchmarks that exercise data structures outside a topology.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ringnet {
+
+using LocalSeq = std::uint64_t;   // per-source sequence, assigned at submit
+using GlobalSeq = std::uint64_t;  // total-order sequence, assigned by the token
+
+enum class Tier : std::uint8_t {
+  None = 0,  // tier-less id (tests, micro-benches)
+  BR = 1,    // border router, top logical ring (ordering nodes)
+  AG = 2,    // access gateway, second-tier logical rings
+  AP = 3,    // access proxy, tree leaf of the wired overlay
+  MH = 4,    // mobile host
+};
+
+struct NodeId {
+  std::uint32_t v = 0xFFFFFFFFu;
+
+  static constexpr std::uint32_t kTierShift = 24;
+  static constexpr std::uint32_t kIndexMask = 0x00FFFFFFu;
+
+  static constexpr NodeId make(Tier tier, std::uint32_t index) {
+    return NodeId{(static_cast<std::uint32_t>(tier) << kTierShift) |
+                  (index & kIndexMask)};
+  }
+  static constexpr NodeId invalid() { return NodeId{0xFFFFFFFFu}; }
+
+  constexpr Tier tier() const {
+    const std::uint32_t t = v >> kTierShift;
+    return t <= 4 ? static_cast<Tier>(t) : Tier::None;
+  }
+  constexpr std::uint32_t index() const { return v & kIndexMask; }
+  constexpr bool valid() const { return v != 0xFFFFFFFFu; }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) { return a.v == b.v; }
+  friend constexpr bool operator!=(NodeId a, NodeId b) { return a.v != b.v; }
+  friend constexpr bool operator<(NodeId a, NodeId b) { return a.v < b.v; }
+};
+
+struct GroupId {
+  std::uint32_t v = 0;
+  friend constexpr bool operator==(GroupId a, GroupId b) { return a.v == b.v; }
+  friend constexpr bool operator!=(GroupId a, GroupId b) { return a.v != b.v; }
+  friend constexpr bool operator<(GroupId a, GroupId b) { return a.v < b.v; }
+};
+
+inline std::string to_string(NodeId id) {
+  if (!id.valid()) return "?";
+  const char* prefix = "N";
+  switch (id.tier()) {
+    case Tier::BR: prefix = "BR"; break;
+    case Tier::AG: prefix = "AG"; break;
+    case Tier::AP: prefix = "AP"; break;
+    case Tier::MH: prefix = "MH"; break;
+    case Tier::None: break;
+  }
+  return std::string(prefix) + std::to_string(id.index());
+}
+
+}  // namespace ringnet
+
+template <>
+struct std::hash<ringnet::NodeId> {
+  std::size_t operator()(ringnet::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.v);
+  }
+};

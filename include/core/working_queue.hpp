@@ -1,0 +1,47 @@
+#pragma once
+// WorkingQueue (the paper's WQ): messages received by an ordering node that
+// are waiting for the token. FIFO within the node; assign() runs the
+// Message-Ordering step against every queued message when the token is in
+// hand. The assignment functor returns false to reject a message (stale
+// epoch, unknown source after a view change) — rejected messages are
+// dropped and counted, never retried.
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "proto/messages.hpp"
+
+namespace ringnet::core {
+
+class WorkingQueue {
+ public:
+  void add(const proto::DataMsg& msg) { pending_.push_back(msg); }
+
+  /// Drain the queue through the ordering functor. Messages for which
+  /// `assign_fn(msg)` returns true (after mutating gseq/ordering_node in
+  /// place) are returned in FIFO order; the rest are dropped and counted.
+  template <typename Fn>
+  std::vector<proto::DataMsg> assign(Fn&& assign_fn, std::size_t& dropped) {
+    std::vector<proto::DataMsg> out;
+    out.reserve(pending_.size());
+    for (auto& msg : pending_) {
+      if (assign_fn(msg)) {
+        out.push_back(std::move(msg));
+      } else {
+        ++dropped;
+      }
+    }
+    pending_.clear();
+    return out;
+  }
+
+  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return pending_.empty(); }
+
+ private:
+  std::deque<proto::DataMsg> pending_;
+};
+
+}  // namespace ringnet::core

@@ -1,0 +1,88 @@
+#pragma once
+// Channel models for the three link classes of the RingNet hierarchy:
+// WAN links between border routers (the top logical ring), wired LAN links
+// inside a domain (BR–AG–AP tree) and the wireless cell between an AP and
+// its mobile hosts. Wireless loss can be burst-correlated (Gilbert-Elliott)
+// — the regime the paper's §5 closing note defers to future work.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace ringnet::net {
+
+struct ChannelModel {
+  sim::SimTime latency = sim::msecs(1);  // one-way propagation
+  double bandwidth_bps = 1e9;            // serialization rate
+  double loss_rate = 0.0;                // long-run average loss probability
+  bool burst_loss = false;               // Gilbert-Elliott vs Bernoulli
+  double burst_mean_len = 5.0;           // mean bad-state burst length (pkts)
+
+  static ChannelModel wired_wan(double loss = 0.0) {
+    ChannelModel m;
+    m.latency = sim::msecs(5);
+    m.bandwidth_bps = 100e6;
+    m.loss_rate = loss;
+    return m;
+  }
+
+  static ChannelModel wired_lan(double loss = 0.0) {
+    ChannelModel m;
+    m.latency = sim::msecs(1);
+    m.bandwidth_bps = 1e9;
+    m.loss_rate = loss;
+    return m;
+  }
+
+  static ChannelModel wireless(double loss = 0.01) {
+    ChannelModel m;
+    m.latency = sim::msecs(2);
+    m.bandwidth_bps = 10e6;
+    m.loss_rate = loss;
+    m.burst_loss = true;
+    return m;
+  }
+
+  /// Time to serialize `bytes` onto the link.
+  sim::SimTime transmit_time(std::uint32_t bytes) const {
+    if (bandwidth_bps <= 0.0) return sim::SimTime::zero();
+    return sim::secs(static_cast<double>(bytes) * 8.0 / bandwidth_bps);
+  }
+
+  /// One-way delay for a frame of `bytes`: serialization + propagation.
+  sim::SimTime one_way(std::uint32_t bytes) const {
+    return latency + transmit_time(bytes);
+  }
+};
+
+/// Per-link loss process. Bernoulli by default; with burst_loss set it is a
+/// two-state Gilbert-Elliott chain whose stationary loss matches loss_rate
+/// and whose bad-state dwell time averages burst_mean_len packets.
+class LossProcess {
+ public:
+  explicit LossProcess(const ChannelModel& model) : model_(model) {}
+
+  bool lost(util::Rng& rng) {
+    const double p = model_.loss_rate;
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    if (!model_.burst_loss) return rng.chance(p);
+    // Gilbert-Elliott: P(bad->good) = 1/burst_len;
+    // stationary bad fraction p => P(good->bad) = p / (burst_len * (1 - p)).
+    const double p_exit_bad = 1.0 / model_.burst_mean_len;
+    const double p_enter_bad = p * p_exit_bad / (1.0 - p);
+    if (bad_) {
+      if (rng.chance(p_exit_bad)) bad_ = false;
+    } else if (rng.chance(p_enter_bad)) {
+      bad_ = true;
+    }
+    return bad_;
+  }
+
+ private:
+  ChannelModel model_;
+  bool bad_ = false;
+};
+
+}  // namespace ringnet::net

@@ -1,0 +1,226 @@
+#pragma once
+// Wire-level protocol messages. The protocol's control vocabulary follows
+// the paper: DataMsg multicast payload descriptors, the OrderingToken with
+// its WTSNP table (With-Timestamp-Sequence-Number-Pairs: which ordering
+// node mapped which (source, local-seq) range to which global sequence),
+// delivery acks, membership updates and heartbeats. encode()/decode() give
+// a length-checked little-endian codec; decode returns nullopt on any
+// truncated or corrupt buffer instead of reading out of bounds.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ringnet::proto {
+
+// ---------------------------------------------------------------------------
+// Wire reader/writer
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(v); }
+  void u32(std::uint32_t v) { append(v); }
+  void u64(std::uint64_t v) { append(v); }
+  void node(NodeId id) { u32(id.v); }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::uint8_t* data() const { return buf_.data(); }
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void append(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  std::optional<std::uint8_t> u8() { return read<std::uint8_t>(); }
+  std::optional<std::uint16_t> u16() { return read<std::uint16_t>(); }
+  std::optional<std::uint32_t> u32() { return read<std::uint32_t>(); }
+  std::optional<std::uint64_t> u64() { return read<std::uint64_t>(); }
+  std::optional<NodeId> node() {
+    const auto v = u32();
+    if (!v) return std::nullopt;
+    return NodeId{*v};
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  std::optional<T> read() {
+    if (size_ - pos_ < sizeof(T)) return std::nullopt;
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Message kinds
+
+enum class MsgType : std::uint8_t {
+  Data = 1,
+  Token = 2,
+  DeliveryAck = 3,
+  Membership = 4,
+  Heartbeat = 5,
+};
+
+/// A multicast payload descriptor. `gseq`/`ordering_node`/`epoch` are
+/// unassigned (zero / invalid) until the message passes through the token
+/// holder's Message-Ordering step.
+struct DataMsg {
+  GroupId gid;
+  NodeId source;
+  LocalSeq lseq = 0;
+  NodeId ordering_node = NodeId::invalid();
+  GlobalSeq gseq = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t payload_size = 0;
+};
+
+/// Periodic delivery watermark from an MH up its tree path: "I have
+/// delivered every global sequence number <= watermark".
+struct DeliveryAckMsg {
+  GroupId gid;
+  NodeId member;
+  GlobalSeq watermark = 0;
+};
+
+/// Batched membership delta relayed around the top ring.
+struct MembershipMsg {
+  GroupId gid;
+  NodeId origin;
+  struct Event {
+    NodeId mh;
+    NodeId ap;  // invalid() == detach
+  };
+  std::vector<Event> events;
+};
+
+struct HeartbeatMsg {
+  NodeId from;
+  std::uint64_t beat = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Ordering token (WTSNP)
+
+/// One WTSNP table row: ordering node `ordering_node` assigned sources
+/// `source`'s local sequences [first, last] the global range starting at
+/// `gseq_first`.
+struct WtsnpEntry {
+  NodeId ordering_node;
+  NodeId source;
+  LocalSeq first = 0;
+  LocalSeq last = 0;
+  GlobalSeq gseq_first = 0;
+};
+
+class OrderingToken {
+ public:
+  OrderingToken() = default;
+  OrderingToken(GroupId gid, std::uint64_t epoch) : gid_(gid), epoch_(epoch) {}
+
+  GroupId gid() const { return gid_; }
+  std::uint64_t epoch() const { return epoch_; }
+  void set_epoch(std::uint64_t e) { epoch_ = e; }
+  GlobalSeq next_gseq() const { return next_gseq_; }
+  void set_next_gseq(GlobalSeq g) { next_gseq_ = g; }
+  std::uint64_t rotation() const { return rotation_; }
+  void bump_rotation() { ++rotation_; }
+  std::uint64_t serial() const { return serial_; }
+  void set_serial(std::uint64_t s) { serial_ = s; }
+
+  const std::vector<WtsnpEntry>& entries() const { return entries_; }
+
+  /// Record that `ordering_node` assigned `source`'s [first, last] the next
+  /// (last - first + 1) global sequence numbers. Returns the first global
+  /// sequence of the range.
+  GlobalSeq append_range(NodeId ordering_node, NodeId source, LocalSeq first,
+                         LocalSeq last);
+
+  /// Drop every entry appended by `ordering_node`. Called when the token
+  /// returns to that node: by then the entry has completed a full rotation
+  /// and every ring member has seen it (the paper's WTSNP recycling rule).
+  void prune_entries_of(NodeId ordering_node);
+
+  /// Global sequence assigned to (source, lseq), if still tabled.
+  std::optional<GlobalSeq> lookup(NodeId source, LocalSeq lseq) const;
+
+  void serialize(WireWriter& w) const;
+  static std::optional<OrderingToken> deserialize(WireReader& r);
+
+ private:
+  GroupId gid_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t serial_ = 0;    // regeneration lineage (duplicate detection)
+  std::uint64_t rotation_ = 0;  // completed trips around the ring
+  GlobalSeq next_gseq_ = 0;
+  std::vector<WtsnpEntry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Message envelope + codec
+
+class Message {
+ public:
+  using Body = std::variant<DataMsg, OrderingToken, DeliveryAckMsg,
+                            MembershipMsg, HeartbeatMsg>;
+
+  Message(DataMsg m) : body_(std::move(m)) {}                 // NOLINT
+  Message(OrderingToken m) : body_(std::move(m)) {}           // NOLINT
+  Message(DeliveryAckMsg m) : body_(std::move(m)) {}          // NOLINT
+  Message(MembershipMsg m) : body_(std::move(m)) {}           // NOLINT
+  Message(HeartbeatMsg m) : body_(std::move(m)) {}            // NOLINT
+
+  MsgType type() const;
+  const Body& body() const { return body_; }
+
+  const DataMsg& data() const { return std::get<DataMsg>(body_); }
+  const OrderingToken& token() const { return std::get<OrderingToken>(body_); }
+  const DeliveryAckMsg& ack() const { return std::get<DeliveryAckMsg>(body_); }
+  const MembershipMsg& membership() const {
+    return std::get<MembershipMsg>(body_);
+  }
+  const HeartbeatMsg& heartbeat() const {
+    return std::get<HeartbeatMsg>(body_);
+  }
+
+ private:
+  Body body_;
+};
+
+std::vector<std::uint8_t> encode(const Message& msg);
+std::optional<Message> decode(const std::vector<std::uint8_t>& bytes);
+
+/// Wire size of a message without materializing the buffer (used by the
+/// simulator to charge link serialization time).
+std::size_t wire_size(const Message& msg);
+
+}  // namespace ringnet::proto

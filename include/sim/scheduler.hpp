@@ -1,0 +1,67 @@
+#pragma once
+// Event-heap scheduler. Events at equal timestamps run in insertion order
+// (a monotone sequence number breaks ties), which is what makes whole-run
+// determinism possible: the heap never observes platform-dependent ordering.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ringnet::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  void schedule_at(SimTime t, Action action) {
+    heap_.push(Event{t, next_seq_++, std::move(action)});
+  }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Run every pending event (including ones scheduled while running).
+  void run_to_completion() {
+    while (!heap_.empty()) pop_and_run();
+  }
+
+  /// Run all events with timestamp <= `until`, then advance `now` to
+  /// `until` even if the heap still holds later events.
+  void run_until(SimTime until) {
+    while (!heap_.empty() && heap_.top().at <= until) pop_and_run();
+    if (until > now_) now_ = until;
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return b.at < a.at;
+      return b.seq < a.seq;  // FIFO among equal timestamps
+    }
+  };
+
+  void pop_and_run() {
+    // std::priority_queue::top() is const; the action must be moved out
+    // before pop so re-entrant schedule_at calls see a consistent heap.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    if (ev.at > now_) now_ = ev.at;
+    ev.action();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ringnet::sim

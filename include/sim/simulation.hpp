@@ -1,0 +1,122 @@
+#pragma once
+// Simulation: the deterministic world one experiment runs in — an event
+// scheduler, a seeded RNG, a metrics registry (counters + high-watermark
+// gauges) and an optional structured trace. Protocol code never touches
+// wall-clock time or global RNG state, only this object.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace ringnet::sim {
+
+enum class TraceKind : std::uint8_t {
+  TokenPass,     // a = epoch, b = rotation counter
+  TokenRegen,    // a = new epoch
+  TokenDestroy,  // a = epoch of the destroyed duplicate
+  NodeCrash,
+  RingRepair,    // a = surviving ring size
+  Handoff,       // a = 1 hot attach, 0 cold
+  GapSkip,       // a = number of sequence numbers skipped
+  Deliver,       // a = gseq
+};
+
+struct TraceEvent {
+  TraceKind kind{};
+  SimTime at;
+  NodeId node;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class Trace {
+ public:
+  void enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  void record(TraceKind kind, SimTime at, NodeId node, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+    if (enabled_) events_.push_back(TraceEvent{kind, at, node, a, b});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  std::vector<TraceEvent> filter(TraceKind kind) const {
+    std::vector<TraceEvent> out;
+    for (const auto& ev : events_) {
+      if (ev.kind == kind) out.push_back(ev);
+    }
+    return out;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+class Metrics {
+ public:
+  void incr(const std::string& name, std::uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  std::uint64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Record an observation; the gauge keeps the maximum ever seen.
+  void gauge_max(const std::string& name, double value) {
+    auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  double gauge(const std::string& name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+  SimTime now() const { return scheduler_.now(); }
+  std::uint64_t seed() const { return seed_; }
+
+  Scheduler& scheduler() { return scheduler_; }
+  util::Rng& rng() { return rng_; }
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  void at(SimTime t, Scheduler::Action action) {
+    scheduler_.schedule_at(t, std::move(action));
+  }
+  void after(SimTime delay, Scheduler::Action action) {
+    scheduler_.schedule_at(scheduler_.now() + delay, std::move(action));
+  }
+
+  /// Advance simulated time by `span`, running everything due in between.
+  void run_for(SimTime span) { scheduler_.run_until(scheduler_.now() + span); }
+  void run_to_completion() { scheduler_.run_to_completion(); }
+
+ private:
+  Scheduler scheduler_;
+  util::Rng rng_;
+  Trace trace_;
+  Metrics metrics_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ringnet::sim

@@ -1,0 +1,55 @@
+#pragma once
+// Simulated time: a strong integer type counting microseconds. All protocol
+// timers and channel delays are expressed as SimTime so arithmetic is exact
+// and runs replay deterministically (no floating-point event times).
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ringnet::sim {
+
+struct SimTime {
+  std::int64_t us = 0;  // microseconds
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr double seconds() const { return static_cast<double>(us) * 1e-6; }
+  constexpr std::int64_t micros() const { return us; }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) {
+    return a.us == b.us;
+  }
+  friend constexpr bool operator!=(SimTime a, SimTime b) {
+    return a.us != b.us;
+  }
+  friend constexpr bool operator<(SimTime a, SimTime b) { return a.us < b.us; }
+  friend constexpr bool operator<=(SimTime a, SimTime b) {
+    return a.us <= b.us;
+  }
+  friend constexpr bool operator>(SimTime a, SimTime b) { return a.us > b.us; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) {
+    return a.us >= b.us;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.us + b.us};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.us - b.us};
+  }
+  SimTime& operator+=(SimTime b) {
+    us += b.us;
+    return *this;
+  }
+};
+
+constexpr SimTime usecs(std::int64_t n) { return SimTime{n}; }
+constexpr SimTime msecs(std::int64_t n) { return SimTime{n * 1000}; }
+inline SimTime secs(double s) {
+  return SimTime{static_cast<std::int64_t>(std::llround(s * 1e6))};
+}
+
+}  // namespace ringnet::sim

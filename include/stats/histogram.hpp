@@ -1,0 +1,85 @@
+#pragma once
+// Log-bucketed histogram (HDR-style: 2^6 sub-buckets per power of two).
+// O(1) record, ~1.6% relative quantile error, fixed memory — good enough
+// for latency percentiles over millions of samples without storing them.
+
+#include <array>
+#include <cstdint>
+
+namespace ringnet::stats {
+
+class Histogram {
+ public:
+  void record(std::uint64_t value) {
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+    if (value < min_ || count_ == 1) min_ = value;
+    ++buckets_[bucket_of(value)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1] (upper bound of the containing bucket).
+  std::uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > rank) {
+        const std::uint64_t hi = bucket_upper(i);
+        return hi < max_ ? hi : max_;
+      }
+    }
+    return max_;
+  }
+
+  std::uint64_t p50() const { return percentile(0.50); }
+  std::uint64_t p90() const { return percentile(0.90); }
+  std::uint64_t p99() const { return percentile(0.99); }
+
+ private:
+  static constexpr std::size_t kSubBits = 6;  // 64 sub-buckets per octave
+  static constexpr std::size_t kSub = 1u << kSubBits;
+  static constexpr std::size_t kOctaves = 64 - kSubBits;
+  static constexpr std::size_t kBuckets = kSub + kOctaves * kSub;
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    // Highest set bit defines the octave; next kSubBits bits the sub-bucket.
+    const int msb = 63 - __builtin_clzll(v);
+    const std::size_t octave = static_cast<std::size_t>(msb) - kSubBits + 1;
+    const std::size_t sub =
+        static_cast<std::size_t>(v >> (msb - static_cast<int>(kSubBits))) &
+        (kSub - 1);
+    std::size_t idx = kSub + (octave - 1) * kSub + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static std::uint64_t bucket_upper(std::size_t idx) {
+    if (idx < kSub) return idx;
+    const std::size_t octave = (idx - kSub) / kSub + 1;
+    const std::size_t sub = (idx - kSub) % kSub;
+    const std::uint64_t base = 1ull << (octave + kSubBits - 1);
+    const std::uint64_t width = base >> kSubBits;
+    return base + (sub + 1) * width - 1;
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = 0;
+};
+
+}  // namespace ringnet::stats

@@ -1,0 +1,54 @@
+#pragma once
+// Fixed-width ASCII result tables for the experiment benches. Cells are
+// formatted eagerly into strings; print() right-aligns numbers under their
+// headers so sweep output is diffable run-to-run.
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ringnet::stats {
+
+class Table {
+ public:
+  class Row {
+   public:
+    Row& cell(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    Row& cell(const char* s) { return cell(std::string(s)); }
+    Row& cell(std::int64_t v);
+    Row& cell(std::uint64_t v);
+    Row& cell(double v, int precision);
+
+    const std::vector<std::string>& cells() const { return cells_; }
+
+   private:
+    std::vector<std::string> cells_;
+  };
+
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  /// Append a row; the reference stays valid for chained .cell() calls
+  /// (rows live in a deque, so growth never relocates them).
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  const std::string& title() const { return title_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::deque<Row> rows_;
+};
+
+}  // namespace ringnet::stats

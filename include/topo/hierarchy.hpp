@@ -1,0 +1,77 @@
+#pragma once
+// The RingNet distribution vehicle (paper Figure 1): a four-tier hierarchy
+// BRT (border routers, one top logical ring) / AGT (access gateways, one
+// logical ring per BR) / APT (access proxies, tree children of AGs) / MHT
+// (mobile hosts in wireless cells). build_hierarchy() constructs the
+// topology; validate() checks every structural invariant the protocol
+// relies on (ring closure, parent/child symmetry, leader consistency).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/channel.hpp"
+
+namespace ringnet::topo {
+
+struct HierarchyConfig {
+  std::size_t num_brs = 3;
+  std::size_t ags_per_br = 1;
+  std::size_t aps_per_ag = 1;
+  std::size_t mhs_per_ap = 1;
+  net::ChannelModel wan = net::ChannelModel::wired_wan(0.0);
+  net::ChannelModel lan = net::ChannelModel::wired_lan(0.0);
+  net::ChannelModel wireless = net::ChannelModel::wireless(0.01);
+};
+
+enum class LinkKind : std::uint8_t { WanRing, LanTree, WirelessCell };
+
+struct Link {
+  NodeId a;
+  NodeId b;
+  LinkKind kind;
+};
+
+struct RingNeighbors {
+  NodeId next = NodeId::invalid();
+  NodeId prev = NodeId::invalid();
+  NodeId leader = NodeId::invalid();
+};
+
+struct NodeDesc {
+  NodeId id;
+  Tier tier = Tier::None;
+  NodeId parent = NodeId::invalid();     // tree parent (BRs have none)
+  std::vector<NodeId> children;          // tree children
+  RingNeighbors nbrs;                    // ring links (BR/AG tiers only)
+};
+
+struct Topology {
+  HierarchyConfig config;
+  std::vector<NodeId> top_ring;               // BRT ring, index order
+  std::vector<std::vector<NodeId>> ag_rings;  // one ring per BR
+  std::vector<NodeId> aps;
+  std::vector<NodeId> mhs;
+  std::vector<Link> links;
+  std::unordered_map<NodeId, NodeDesc> nodes;
+
+  const NodeDesc& desc(NodeId id) const { return nodes.at(id); }
+  NodeDesc& desc(NodeId id) { return nodes.at(id); }
+  bool has(NodeId id) const { return nodes.count(id) != 0; }
+
+  std::size_t entity_count() const { return nodes.size(); }
+
+  /// The BR at the root of an arbitrary node's tree path.
+  NodeId br_of(NodeId id) const;
+
+  /// nullopt when every invariant holds; otherwise a description of the
+  /// first violation found.
+  std::optional<std::string> validate() const;
+};
+
+Topology build_hierarchy(const HierarchyConfig& config);
+
+}  // namespace ringnet::topo

@@ -1,0 +1,42 @@
+#pragma once
+// Deterministic, seedable PRNG (splitmix64 core). Every stochastic choice in
+// the simulator draws from one of these so a (seed, config) pair replays
+// bit-identically across runs and platforms.
+
+#include <cmath>
+#include <cstdint>
+
+namespace ringnet::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t bounded(std::uint64_t n) { return next() % n; }
+
+  /// Exponential with the given rate (mean 1/rate), for Poisson processes.
+  double exponential(double rate) {
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ringnet::util

@@ -1,0 +1,63 @@
+#pragma once
+// parallel_map: run `fn(0..n)` across a transient pool of std::threads and
+// return the results in index order. Each call site owns a deterministic
+// unit of work (one Simulation per sweep point), so the only requirement
+// here is order preservation and exception propagation — not scheduling
+// fairness.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ringnet::util {
+
+inline std::size_t default_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+template <typename R, typename Fn>
+std::vector<R> parallel_map(std::size_t n, Fn&& fn,
+                            std::size_t max_threads = 0) {
+  std::vector<R> out(n);
+  if (n == 0) return out;
+  std::size_t workers = max_threads == 0 ? default_parallelism() : max_threads;
+  if (workers > n) workers = n;
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    return out;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        out[i] = fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace ringnet::util

@@ -1,0 +1,101 @@
+#include "baseline/harness.hpp"
+
+#include <algorithm>
+
+namespace ringnet::baseline {
+
+core::ProtocolConfig effective_config(const RunSpec& spec) {
+  core::ProtocolConfig cfg = spec.config;
+  switch (spec.variant) {
+    case Variant::RingNet:
+      cfg.options.ordered = true;
+      break;
+    case Variant::RingNetUnordered:
+      cfg.options.ordered = false;
+      break;
+    case Variant::SingleRing:
+      // One logical ring spanning every AP: each ring node serves one cell
+      // directly, and all control information rotates past all of them.
+      cfg.hierarchy.num_brs = std::max<std::size_t>(2, spec.flat_aps);
+      cfg.hierarchy.ags_per_br = 1;
+      cfg.hierarchy.aps_per_ag = 1;
+      cfg.hierarchy.mhs_per_ap = std::max<std::size_t>(1, spec.flat_mhs_per_ap);
+      cfg.options.ordered = true;
+      break;
+    case Variant::Sequencer:
+      // Star around one fixed sequencer node.
+      cfg.hierarchy.num_brs = 1;
+      cfg.hierarchy.ags_per_br = 1;
+      cfg.hierarchy.aps_per_ag = std::max<std::size_t>(1, spec.flat_aps);
+      cfg.hierarchy.mhs_per_ap = std::max<std::size_t>(1, spec.flat_mhs_per_ap);
+      cfg.options.ordered = true;
+      break;
+  }
+  return cfg;
+}
+
+RunResult run_experiment(const RunSpec& spec) {
+  return run_experiment(spec, RunHook{});
+}
+
+RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
+  sim::Simulation sim(spec.seed);
+  core::RingNetProtocol proto(sim, effective_config(spec));
+  proto.start();
+  if (hook) hook(proto, sim);
+
+  sim.run_for(spec.warmup + spec.run);
+  proto.stop_sources();
+  proto.mobility().stop();
+  sim.run_for(spec.drain);
+
+  RunResult out;
+  const auto& metrics = sim.metrics();
+  const double active = (spec.warmup + spec.run).seconds();
+  const std::size_t n_mh = proto.topology().mhs.size();
+  if (active > 0.0 && n_mh > 0) {
+    out.throughput_per_mh_hz =
+        static_cast<double>(metrics.counter("mh.delivered")) /
+        static_cast<double>(n_mh) / active;
+  }
+
+  const auto& lat = proto.lat_hist();
+  out.lat_mean_us = lat.mean();
+  out.lat_p50_us = lat.p50();
+  out.lat_p90_us = lat.p90();
+  out.lat_p99_us = lat.p99();
+  out.lat_max_us = lat.max();
+  const auto& assign = proto.assign_hist();
+  out.assign_p99_us = assign.p99();
+  out.assign_max_us = assign.max();
+
+  out.wq_peak = metrics.gauge("buf.wq.peak");
+  out.mq_peak = metrics.gauge("buf.mq.peak");
+  out.retransmits = metrics.counter("arq.retransmits");
+  out.really_lost = metrics.counter("mh.gap_skipped_msgs");
+  out.mh_gaps_skipped = metrics.counter("mh.gaps_skipped");
+  out.tokens_held = metrics.counter("token.held");
+  out.token_regenerations = metrics.counter("token.regenerated");
+  out.duplicate_tokens_destroyed =
+      metrics.counter("token.duplicates_destroyed");
+  out.handoffs = metrics.counter("handoff.count");
+  out.hot_attaches = metrics.counter("handoff.hot");
+  out.cold_attaches = metrics.counter("handoff.cold");
+
+  if (proto.total_sent() > 0) {
+    double min_ratio = 1.0;
+    for (const auto& mh : proto.mhs()) {
+      const double ratio = static_cast<double>(mh->delivered_count()) /
+                           static_cast<double>(proto.total_sent());
+      min_ratio = std::min(min_ratio, ratio);
+    }
+    out.min_delivery_ratio = min_ratio;
+  }
+
+  if (proto.config().options.ordered && proto.config().record_deliveries) {
+    out.order_violation = proto.deliveries().check_total_order();
+  }
+  return out;
+}
+
+}  // namespace ringnet::baseline

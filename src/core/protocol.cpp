@@ -1,0 +1,808 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ringnet::core {
+
+namespace {
+
+constexpr GroupId kGroup{1};
+constexpr std::uint32_t kAckBytes = 17;
+constexpr std::uint32_t kHeartbeatBytes = 13;
+// Resends per ack processed; bounds the catch-up burst after a handoff.
+constexpr std::size_t kResendWindow = 128;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeliveryLog
+
+std::optional<std::string> DeliveryLog::check_total_order() const {
+  std::unordered_map<GlobalSeq, std::pair<NodeId, LocalSeq>> binding;
+  for (const auto& [mh, recs] : per_mh_) {
+    bool first = true;
+    GlobalSeq prev = 0;
+    for (const auto& r : recs) {
+      if (!first && r.gseq <= prev) {
+        return "non-increasing gseq " + std::to_string(r.gseq) + " after " +
+               std::to_string(prev) + " at " + to_string(mh);
+      }
+      first = false;
+      prev = r.gseq;
+      const auto [it, inserted] =
+          binding.emplace(r.gseq, std::make_pair(r.source, r.lseq));
+      if (!inserted &&
+          (it->second.first != r.source || it->second.second != r.lseq)) {
+        return "gseq " + std::to_string(r.gseq) +
+               " bound to two different messages (seen at " + to_string(mh) +
+               ")";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      topo_(topo::build_hierarchy(config_.hierarchy)) {
+  for (NodeId br : topo_.top_ring) {
+    brs_.emplace(br,
+                 std::make_unique<BrNode>(br, config_.options.mq_retention));
+    br_members_.emplace(br, std::vector<NodeId>{});
+  }
+  alive_ring_ = topo_.top_ring;
+
+  for (NodeId mh : topo_.mhs) {
+    const NodeId ap = topo_.desc(mh).parent;
+    auto node = std::make_unique<MhNode>(mh, ap);
+    mh_by_id_.emplace(mh, node.get());
+    mh_list_.push_back(std::move(node));
+    const NodeId br = topo_.br_of(ap);
+    br_members_[br].push_back(mh);
+    brs_.at(br)->member_wm_.emplace(mh, 0);
+  }
+
+  // Every BR starts with a converged view: all MHs at their home AP.
+  for (auto& [id, br] : brs_) {
+    (void)id;
+    for (NodeId mh : topo_.mhs) {
+      br->view_.apply(mh, topo_.desc(mh).parent, 0);
+    }
+  }
+
+  // Sources live on MHs, spread evenly across the population.
+  const std::size_t n_mh = topo_.mhs.size();
+  sources_.reserve(config_.num_sources);
+  for (std::size_t i = 0; i < config_.num_sources; ++i) {
+    SourceState s;
+    s.index = static_cast<std::uint32_t>(i);
+    s.source_id = NodeId{static_cast<std::uint32_t>(i)};
+    s.mh = topo_.mhs[(i * n_mh) / std::max<std::size_t>(config_.num_sources,
+                                                        1)];
+    sources_on_mh_[s.mh].push_back(i);
+    sources_.push_back(std::move(s));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+void RingNetProtocol::start() {
+  assert(!started_);
+  started_ = true;
+  const auto& opt = config_.options;
+
+  for (NodeId br : topo_.top_ring) {
+    brs_.at(br)->last_hb_from_prev_ = sim_.now();
+    if (opt.tau > sim::SimTime::zero()) {
+      sim_.after(opt.tau, [this, br] { tau_tick(br); });
+    }
+    sim_.after(opt.membership_batch, [this, br] { membership_flush_tick(br); });
+    sim_.after(opt.heartbeat_period, [this, br] { heartbeat_tick(br); });
+  }
+
+  if (opt.ordered) {
+    std::uint32_t stagger = 0;
+    for (NodeId mh : topo_.mhs) {
+      const sim::SimTime phase{(opt.ack_period.us * (stagger % 8)) / 8};
+      ++stagger;
+      sim_.after(opt.ack_period + phase, [this, mh] { ack_tick(mh); });
+    }
+    proto::OrderingToken token(kGroup, current_epoch_);
+    token.set_serial(active_token_serial_);
+    token_custodian_ = topo_.top_ring.front();
+    sim_.after(sim::usecs(1), [this, token] {
+      token_arrive(token_custodian_, token);
+    });
+  }
+
+  start_sources();
+
+  if (config_.mobility.handoff_rate_hz > 0.0 && topo_.aps.size() > 1) {
+    mobility_.running_ = true;
+    for (NodeId mh : topo_.mhs) schedule_next_handoff(mh);
+  }
+}
+
+void RingNetProtocol::start_sources() {
+  sources_running_ = true;
+  const double rate = config_.source.rate_hz;
+  if (rate <= 0.0 || sources_.empty()) return;
+  const sim::SimTime period = sim::secs(1.0 / rate);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    const sim::SimTime phase{
+        (period.us * static_cast<std::int64_t>(i + 1)) /
+        static_cast<std::int64_t>(sources_.size() + 1)};
+    sim_.after(phase, [this, i] { source_tick(i); });
+  }
+}
+
+void RingNetProtocol::stop_sources() { sources_running_ = false; }
+
+void RingNetProtocol::source_tick(std::size_t idx) {
+  if (!sources_running_) return;
+  SourceState& src = sources_[idx];
+  proto::DataMsg msg;
+  msg.gid = kGroup;
+  msg.source = src.source_id;
+  msg.lseq = src.next_lseq++;
+  msg.payload_size = config_.source.payload_size;
+  submit(src, msg);
+  const sim::SimTime period = sim::secs(1.0 / config_.source.rate_hz);
+  sim_.after(period, [this, idx] { source_tick(idx); });
+}
+
+void RingNetProtocol::submit(SourceState& src, proto::DataMsg msg) {
+  src.submit_at.push_back(sim_.now());
+  ++total_sent_;
+  MhNode& m = *mh_by_id_.at(src.mh);
+  if (!m.attached_) {
+    src.parked.push_back(msg);
+    return;
+  }
+  uplink_to_br(msg, src.mh);
+}
+
+void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
+  MhNode& m = *mh_by_id_.at(mh);
+  const NodeId br = topo_.br_of(m.ap_);
+  if (!br.valid()) return;
+  const sim::SimTime delay = uplink_delay(mh, data_bytes());
+  if (config_.options.ordered) {
+    sim_.after(delay, [this, br, msg] {
+      BrNode& b = *brs_.at(br);
+      if (!b.alive_) return;
+      if (config_.options.tau > sim::SimTime::zero()) {
+        b.staging_.push_back(msg);
+      } else {
+        b.wq_.add(msg);
+      }
+      note_wq_depth(b);
+    });
+  } else {
+    // Remark 3 variant: no ordering pass — fan straight out of the BR tier.
+    sim_.after(delay, [this, br, msg] {
+      if (!brs_.at(br)->alive_) return;
+      std::vector<proto::DataMsg> batch{msg};
+      distribute(br, batch);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ordering
+
+void RingNetProtocol::tau_tick(NodeId br) {
+  BrNode& b = *brs_.at(br);
+  if (b.alive_) {
+    while (!b.staging_.empty()) {
+      b.wq_.add(b.staging_.front());
+      b.staging_.pop_front();
+    }
+    note_wq_depth(b);
+  }
+  sim_.after(config_.options.tau, [this, br] { tau_tick(br); });
+}
+
+void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
+  BrNode& b = *brs_.at(br);
+  if (!b.alive_) {
+    // The token reached a crashed node and is gone; topology maintenance
+    // will notice via heartbeats and signal Token-Loss.
+    if (token.serial() == active_token_serial_) token_lost_ = true;
+    return;
+  }
+  if (token.serial() != active_token_serial_) {
+    // Multiple-Token elimination: only the live lineage survives.
+    sim_.metrics().incr("token.duplicates_destroyed");
+    sim_.trace().record(sim::TraceKind::TokenDestroy, sim_.now(), br,
+                        token.epoch());
+    return;
+  }
+
+  token_custodian_ = br;
+  if (br == alive_ring_.front()) token.bump_rotation();
+  sim_.trace().record(sim::TraceKind::TokenPass, sim_.now(), br, token.epoch(),
+                      token.rotation());
+  sim_.metrics().incr("token.held");
+
+  // WTSNP recycling: our previous entries have completed a full rotation.
+  token.prune_entries_of(br);
+
+  std::size_t dropped = 0;
+  auto batch = b.wq_.assign(
+      [&](proto::DataMsg& m) {
+        m.gseq = token.append_range(br, m.source, m.lseq, m.lseq);
+        m.ordering_node = br;
+        m.epoch = token.epoch();
+        return true;
+      },
+      dropped);
+  if (dropped > 0) sim_.metrics().incr("wq.dropped", dropped);
+
+  for (const auto& m : batch) {
+    if (m.source.index() < sources_.size()) {
+      const auto& at = sources_[m.source.index()].submit_at;
+      if (m.lseq < at.size()) {
+        assign_hist_.record(
+            static_cast<std::uint64_t>((sim_.now() - at[m.lseq]).us));
+      }
+    }
+    max_assigned_gseq_ = m.gseq;
+    any_assigned_ = true;
+    assigned_archive_.emplace(m.gseq, std::make_pair(m, sim_.now()));
+  }
+  if (!batch.empty()) distribute(br, batch);
+
+  const NodeId next = next_alive_br(br);
+  if (!next.valid()) return;  // ring fully gone
+  const std::uint32_t token_bytes =
+      static_cast<std::uint32_t>(41 + 32 * token.entries().size());
+  sim::SimTime delay = config_.options.token_hold;
+  if (next == br) {
+    delay += sim::msecs(1);  // 1-ring (sequencer): pace the self-visit
+  } else {
+    delay += hop_delay(config_.hierarchy.wan, br, token_bytes);
+  }
+  token_custodian_ = next;
+  sim_.after(delay, [this, next, token] { token_arrive(next, token); });
+}
+
+void RingNetProtocol::distribute(NodeId origin,
+                                 const std::vector<proto::DataMsg>& batch) {
+  // Self-delivery is unconditional: the origin has the batch in hand even
+  // if a false-positive ejection removed it from alive_ring_.
+  for (const auto& m : batch) br_receive_ordered(origin, m);
+  for (NodeId br : alive_ring_) {
+    if (br == origin) continue;
+    for (const auto& m : batch) {
+      const sim::SimTime delay =
+          hop_delay(config_.hierarchy.wan, origin, data_bytes());
+      sim_.after(delay, [this, br, m] { br_receive_ordered(br, m); });
+    }
+  }
+}
+
+void RingNetProtocol::br_receive_ordered(NodeId br, const proto::DataMsg& msg) {
+  BrNode& b = *brs_.at(br);
+  if (!b.alive_) return;
+  if (config_.options.ordered) {
+    if (!b.mq_.store(msg, sim_.now())) return;  // duplicate
+    sim_.metrics().gauge_max("buf.mq.peak",
+                             static_cast<double>(b.mq_.size()));
+  }
+  forward_down(br, msg);
+}
+
+void RingNetProtocol::forward_down(NodeId br, const proto::DataMsg& msg) {
+  for (NodeId mh : br_members_.at(br)) {
+    MhNode& m = *mh_by_id_.at(mh);
+    if (!m.attached_) continue;
+    const sim::SimTime delay = downlink_delay(mh, data_bytes());
+    sim_.after(delay, [this, mh, msg] { mh_receive(mh, msg, false); });
+  }
+}
+
+void RingNetProtocol::mh_receive(NodeId mh, const proto::DataMsg& msg,
+                                 bool retransmission) {
+  (void)retransmission;
+  MhNode& m = *mh_by_id_.at(mh);
+  if (!m.attached_) return;  // missed; recovered via ack-driven resend
+  if (!config_.options.ordered) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(msg.source.v) << 40) ^ msg.lseq;
+    if (!m.seen_unordered_.insert(key).second) return;
+    deliver_at_mh(m, msg);
+    return;
+  }
+  if (!m.mq_.store(msg, sim_.now())) return;
+  for (const auto& d : m.mq_.deliverable()) {
+    m.mq_.mark_delivered(d.gseq);
+    deliver_at_mh(m, d);
+  }
+}
+
+void RingNetProtocol::deliver_at_mh(MhNode& node, const proto::DataMsg& msg) {
+  ++node.delivered_;
+  node.last_delivery_ = sim_.now();
+  sim_.metrics().incr("mh.delivered");
+  if (msg.source.index() < sources_.size()) {
+    const auto& at = sources_[msg.source.index()].submit_at;
+    if (msg.lseq < at.size()) {
+      lat_hist_.record(
+          static_cast<std::uint64_t>((sim_.now() - at[msg.lseq]).us));
+    }
+  }
+  if (config_.record_deliveries && config_.options.ordered) {
+    deliveries_.record(node.id_, msg.gseq, msg.source, msg.lseq);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acks, pruning, resynchronization
+
+void RingNetProtocol::ack_tick(NodeId mh) {
+  sim_.after(config_.options.ack_period, [this, mh] { ack_tick(mh); });
+  MhNode& m = *mh_by_id_.at(mh);
+  if (!m.attached_) return;
+  const NodeId br = topo_.br_of(m.ap_);
+  if (!br.valid() || !brs_.at(br)->alive_) return;
+  sim_.metrics().incr("arq.acks_sent");
+  const GlobalSeq wm = m.mq_.next_expected();
+  const sim::SimTime delay = uplink_delay(mh, kAckBytes);
+  sim_.after(delay, [this, br, mh, wm] { br_receive_ack(br, mh, wm); });
+}
+
+void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
+                                     GlobalSeq next_expected) {
+  BrNode& b = *brs_.at(br);
+  if (!b.alive_) return;
+  const auto member = b.member_wm_.find(mh);
+  if (member == b.member_wm_.end()) return;  // moved away meanwhile
+  if (next_expected > member->second) member->second = next_expected;
+  mark_acked(b);
+
+  // Resynchronize the member from the MQ. Anything older than the MQ's
+  // ValidFront is unrecoverable from here: tell the member to skip the gap.
+  const GlobalSeq vf = b.mq_.valid_front();
+  GlobalSeq cursor = next_expected;
+  if (cursor < vf) {
+    const GlobalSeq skipped = vf - cursor;
+    const sim::SimTime delay = downlink_delay(mh, kAckBytes);
+    sim_.after(delay, [this, mh, vf, skipped] {
+      MhNode& m = *mh_by_id_.at(mh);
+      if (!m.attached_ || m.mq_.next_expected() >= vf) return;
+      m.mq_.skip_to(vf);
+      sim_.metrics().incr("mh.gaps_skipped");
+      sim_.metrics().incr("mh.gap_skipped_msgs", skipped);
+      sim_.trace().record(sim::TraceKind::GapSkip, sim_.now(), mh, skipped);
+      for (const auto& d : m.mq_.deliverable()) {
+        m.mq_.mark_delivered(d.gseq);
+        deliver_at_mh(m, d);
+      }
+    });
+    cursor = vf;
+  }
+  // Resend stale entries the member still lacks. The grace window keeps
+  // normally-in-flight messages from being duplicated.
+  const sim::SimTime grace =
+      config_.options.ack_period + config_.options.retx_timeout;
+  const GlobalSeq horizon =
+      any_assigned_ ? std::min(max_assigned_gseq_, cursor + kResendWindow)
+                    : cursor;
+  std::size_t resent = 0;
+  for (GlobalSeq g = cursor; g <= horizon && any_assigned_; ++g) {
+    const auto stored = b.mq_.stored_at(g);
+    if (!stored) {
+      // Hole in this BR's own MQ (it missed the multicast, e.g. while
+      // wrongly ejected from the ring): once the copy is overdue, fetch
+      // it from a peer ordering node, which stores it here and
+      // re-forwards down-tree.
+      const auto arch = assigned_archive_.find(g);
+      if (arch == assigned_archive_.end()) continue;
+      if (arch->second.second + grace > sim_.now()) continue;  // in flight
+      sim_.metrics().incr("arq.retransmits");
+      const sim::SimTime delay =
+          hop_delay(config_.hierarchy.wan, br, data_bytes());
+      sim_.after(delay, [this, br, m = arch->second.first] {
+        br_receive_ordered(br, m);
+      });
+      if (++resent >= kResendWindow) break;
+      continue;
+    }
+    if (*stored + grace > sim_.now()) continue;
+    const auto msg = b.mq_.fetch(g);
+    if (!msg) continue;
+    const sim::SimTime delay = downlink_delay(mh, data_bytes());
+    sim_.metrics().incr("arq.retransmits");
+    sim_.after(delay, [this, mh, m = *msg] { mh_receive(mh, m, true); });
+    if (++resent >= kResendWindow) break;
+  }
+}
+
+void RingNetProtocol::mark_acked(BrNode& b) {
+  GlobalSeq floor;
+  if (b.member_wm_.empty()) {
+    if (!b.mq_.max_seen() && b.mq_.empty()) return;
+    floor = b.mq_.max_seen() + 1;  // nobody to serve: everything is acked
+  } else {
+    floor = b.member_wm_.begin()->second;
+    for (const auto& [mh, wm] : b.member_wm_) {
+      (void)mh;
+      floor = std::min(floor, wm);
+    }
+  }
+  b.acked_floor_ = std::max(b.acked_floor_, b.mq_.next_expected());
+  while (b.acked_floor_ < floor && b.mq_.contains(b.acked_floor_)) {
+    b.mq_.mark_delivered(b.acked_floor_);
+    ++b.acked_floor_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Membership (batched update scheme)
+
+void RingNetProtocol::queue_membership_event(NodeId mh, NodeId ap) {
+  // Routed through the BR serving the MH's (new or old) cell.
+  const NodeId route_ap = ap.valid() ? ap : mh_by_id_.at(mh)->ap_;
+  const NodeId br = topo_.br_of(route_ap);
+  if (!br.valid() || !brs_.at(br)->alive_) return;
+  const std::uint64_t seq = ++membership_seq_[mh];
+  const sim::SimTime delay =
+      hop_delay(config_.hierarchy.lan, route_ap, kAckBytes);
+  sim_.after(delay, [this, br, mh, ap, seq] {
+    BrNode& b = *brs_.at(br);
+    if (!b.alive_) return;
+    b.pending_membership_.push_back(BrNode::MemberEvent{mh, ap, seq});
+  });
+}
+
+void RingNetProtocol::membership_flush_tick(NodeId br) {
+  sim_.after(config_.options.membership_batch,
+             [this, br] { membership_flush_tick(br); });
+  BrNode& b = *brs_.at(br);
+  if (!b.alive_ || b.pending_membership_.empty()) return;
+  std::vector<BrNode::MemberEvent> events;
+  events.swap(b.pending_membership_);
+  for (const auto& ev : events) {
+    b.view_.apply(ev.mh, ev.ap, ev.seq);
+    sim_.metrics().incr("membership.applied");
+  }
+  if (alive_ring_.size() > 1) {
+    const NodeId next = next_alive_br(br);
+    sim_.metrics().incr("membership.relayed");
+    const sim::SimTime delay =
+        hop_delay(config_.hierarchy.wan, br,
+                  static_cast<std::uint32_t>(13 + 8 * events.size()));
+    const std::size_t hops = alive_ring_.size() - 1;
+    sim_.after(delay, [this, next, events = std::move(events), hops] {
+      membership_relay(next, hops, events);
+    });
+  }
+}
+
+void RingNetProtocol::membership_relay(
+    NodeId br, std::size_t hops_left, std::vector<BrNode::MemberEvent> events) {
+  BrNode& b = *brs_.at(br);
+  if (!b.alive_) return;
+  for (const auto& ev : events) {
+    b.view_.apply(ev.mh, ev.ap, ev.seq);
+    sim_.metrics().incr("membership.applied");
+  }
+  if (hops_left <= 1) return;  // the batch has visited the whole ring
+  const NodeId next = next_alive_br(br);
+  if (!next.valid() || next == br) return;
+  sim_.metrics().incr("membership.relayed");
+  const sim::SimTime delay =
+      hop_delay(config_.hierarchy.wan, br,
+                static_cast<std::uint32_t>(13 + 8 * events.size()));
+  const std::size_t hops = hops_left - 1;
+  sim_.after(delay, [this, next, events = std::move(events), hops] {
+    membership_relay(next, hops, events);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Failure detection and token regeneration
+
+void RingNetProtocol::heartbeat_tick(NodeId br) {
+  sim_.after(config_.options.heartbeat_period,
+             [this, br] { heartbeat_tick(br); });
+  BrNode& b = *brs_.at(br);
+  if (!b.alive_) return;
+  // A live node ejected by a false-positive timeout (heartbeats ride the
+  // lossy WAN with no ARQ) notices on its next beat and merges back in.
+  if (std::find(alive_ring_.begin(), alive_ring_.end(), br) ==
+      alive_ring_.end()) {
+    rejoin_ring(br);
+  }
+  if (alive_ring_.size() < 2) return;
+
+  // Emit a heartbeat to the ring successor (no ARQ: misses are the signal).
+  const NodeId next = next_alive_br(br);
+  if (!loss_process(br, config_.hierarchy.wan).lost(sim_.rng())) {
+    const sim::SimTime delay =
+        config_.hierarchy.wan.one_way(kHeartbeatBytes);
+    sim_.after(delay, [this, next] {
+      BrNode& succ = *brs_.at(next);
+      if (succ.alive_ && succ.last_hb_from_prev_ < sim_.now()) {
+        succ.last_hb_from_prev_ = sim_.now();
+      }
+    });
+  }
+
+  // Check our own predecessor's liveness.
+  const auto it = std::find(alive_ring_.begin(), alive_ring_.end(), br);
+  if (it == alive_ring_.end()) return;
+  const std::size_t pos =
+      static_cast<std::size_t>(std::distance(alive_ring_.begin(), it));
+  const NodeId prev = alive_ring_[(pos + alive_ring_.size() - 1) %
+                                  alive_ring_.size()];
+  if (prev == br) return;
+  const sim::SimTime budget{config_.options.heartbeat_period.us *
+                            config_.options.heartbeat_miss_limit};
+  if (sim_.now() - b.last_hb_from_prev_ > budget) {
+    handle_br_failure(prev);
+  }
+}
+
+void RingNetProtocol::handle_br_failure(NodeId dead) {
+  const auto it = std::find(alive_ring_.begin(), alive_ring_.end(), dead);
+  if (it == alive_ring_.end()) return;
+  alive_ring_.erase(it);
+  sim_.metrics().incr("ring.repairs");
+  sim_.trace().record(sim::TraceKind::RingRepair, sim_.now(), dead,
+                      alive_ring_.size());
+  for (NodeId br : alive_ring_) {
+    brs_.at(br)->last_hb_from_prev_ = sim_.now();
+  }
+  if (alive_ring_.empty()) return;
+
+  const bool custody_lost =
+      token_lost_ || token_custodian_ == dead ||
+      (token_custodian_.valid() && !brs_.at(token_custodian_)->alive_);
+  if (custody_lost && !regen_pending_) {
+    regen_pending_ = true;
+    // One repair round-trip before the leader regenerates.
+    sim_.after(config_.hierarchy.wan.latency + config_.hierarchy.wan.latency,
+               [this] { regenerate_token(); });
+  }
+}
+
+void RingNetProtocol::rejoin_ring(NodeId br) {
+  // Rebuild the surviving ring in original top-ring order with `br` back
+  // in its slot, and reset every failure detector so the merge does not
+  // immediately re-trigger.
+  std::vector<NodeId> merged;
+  merged.reserve(alive_ring_.size() + 1);
+  for (NodeId id : topo_.top_ring) {
+    if (id == br || std::find(alive_ring_.begin(), alive_ring_.end(), id) !=
+                        alive_ring_.end()) {
+      merged.push_back(id);
+    }
+  }
+  alive_ring_ = std::move(merged);
+  for (NodeId id : alive_ring_) {
+    brs_.at(id)->last_hb_from_prev_ = sim_.now();
+  }
+  sim_.metrics().incr("ring.rejoins");
+  sim_.trace().record(sim::TraceKind::RingRepair, sim_.now(), br,
+                      alive_ring_.size());
+  // Members under the rejoined BR catch up on anything multicast while it
+  // was out through the ack-driven resynchronization path.
+}
+
+void RingNetProtocol::regenerate_token() {
+  regen_pending_ = false;
+  if (alive_ring_.empty()) return;
+  if (!token_lost_ && token_custodian_.valid() &&
+      brs_.at(token_custodian_)->alive_) {
+    return;  // the token survived after all
+  }
+  ++current_epoch_;
+  active_token_serial_ = next_token_serial_++;
+  token_lost_ = false;
+
+  proto::OrderingToken token(kGroup, current_epoch_);
+  token.set_serial(active_token_serial_);
+  token.set_next_gseq(any_assigned_ ? max_assigned_gseq_ + 1 : 0);
+  const NodeId leader = leader_br();
+  token_custodian_ = leader;
+  sim_.metrics().incr("token.regenerated");
+  sim_.trace().record(sim::TraceKind::TokenRegen, sim_.now(), leader,
+                      current_epoch_);
+  sim_.after(sim::usecs(1),
+             [this, leader, token] { token_arrive(leader, token); });
+}
+
+void RingNetProtocol::crash_node(NodeId id) {
+  sim_.trace().record(sim::TraceKind::NodeCrash, sim_.now(), id);
+  const auto br = brs_.find(id);
+  if (br != brs_.end()) {
+    br->second->alive_ = false;
+    return;
+  }
+  const auto mh = mh_by_id_.find(id);
+  if (mh != mh_by_id_.end()) mh->second->attached_ = false;
+}
+
+void RingNetProtocol::inject_duplicate_token(NodeId at, std::uint64_t epoch) {
+  proto::OrderingToken dup(kGroup, epoch);
+  dup.set_serial(next_token_serial_++);
+  sim_.after(sim::usecs(1), [this, at, dup] { token_arrive(at, dup); });
+}
+
+// ---------------------------------------------------------------------------
+// Mobility / smooth handoff
+
+void RingNetProtocol::schedule_next_handoff(NodeId mh) {
+  if (!mobility_.running_) return;
+  const double dt =
+      sim_.rng().exponential(config_.mobility.handoff_rate_hz);
+  sim_.after(sim::secs(dt), [this, mh] { perform_handoff(mh); });
+}
+
+void RingNetProtocol::perform_handoff(NodeId mh) {
+  if (!mobility_.running_) return;
+  MhNode& m = *mh_by_id_.at(mh);
+  if (!m.attached_) {  // mid-handoff already; try again later
+    schedule_next_handoff(mh);
+    return;
+  }
+
+  // Detach from the serving cell.
+  const NodeId old_ap = m.ap_;
+  const NodeId old_br = topo_.br_of(old_ap);
+  queue_membership_event(mh, NodeId::invalid());
+  m.attached_ = false;
+  if (old_br.valid()) {
+    auto& members = br_members_.at(old_br);
+    members.erase(std::remove(members.begin(), members.end(), mh),
+                  members.end());
+    BrNode& b = *brs_.at(old_br);
+    b.member_wm_.erase(mh);
+    if (b.alive_) mark_acked(b);
+  }
+
+  // Pick the target cell.
+  NodeId target = old_ap;
+  while (target == old_ap) {
+    target = topo_.aps[sim_.rng().bounded(topo_.aps.size())];
+  }
+  const bool hot = ap_is_hot(target, mh);
+  sim_.metrics().incr("handoff.count");
+  sim_.metrics().incr(hot ? "handoff.hot" : "handoff.cold");
+  sim_.trace().record(sim::TraceKind::Handoff, sim_.now(), mh, hot ? 1 : 0);
+
+  sim::SimTime delay = config_.mobility.detach_gap;
+  if (!hot) delay += config_.options.path_build;
+  sim_.after(delay, [this, mh, target] {
+    complete_attach(mh, target);
+    schedule_next_handoff(mh);
+  });
+}
+
+void RingNetProtocol::complete_attach(NodeId mh, NodeId ap) {
+  MhNode& m = *mh_by_id_.at(mh);
+  m.ap_ = ap;
+  m.attached_ = true;
+  const NodeId br = topo_.br_of(ap);
+  if (br.valid()) {
+    br_members_.at(br).push_back(mh);
+    BrNode& b = *brs_.at(br);
+    if (b.alive_) {
+      b.member_wm_[mh] = m.mq_.next_expected();
+      mark_acked(b);
+    }
+  }
+  queue_membership_event(mh, ap);
+
+  // Sources parked on this MH flush through the new path.
+  const auto it = sources_on_mh_.find(mh);
+  if (it != sources_on_mh_.end()) {
+    for (const std::size_t idx : it->second) {
+      auto& parked = sources_[idx].parked;
+      while (!parked.empty()) {
+        uplink_to_br(parked.front(), mh);
+        parked.pop_front();
+      }
+    }
+  }
+}
+
+bool RingNetProtocol::ap_is_hot(NodeId ap, NodeId exclude_mh) const {
+  auto cell_has_member = [&](NodeId cell) {
+    for (const auto& m : mh_list_) {
+      if (m->id_ != exclude_mh && m->attached_ && m->ap_ == cell) return true;
+    }
+    return false;
+  };
+  if (cell_has_member(ap)) return true;
+  if (!config_.options.smooth_handoff) return false;
+  // §3 reserved paths: neighbors of any occupied cell hold a reservation.
+  const auto it = std::find(topo_.aps.begin(), topo_.aps.end(), ap);
+  if (it == topo_.aps.end()) return false;
+  const std::size_t pos =
+      static_cast<std::size_t>(std::distance(topo_.aps.begin(), it));
+  const std::size_t n = topo_.aps.size();
+  return cell_has_member(topo_.aps[(pos + 1) % n]) ||
+         cell_has_member(topo_.aps[(pos + n - 1) % n]);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+NodeId RingNetProtocol::next_alive_br(NodeId from) const {
+  if (alive_ring_.empty()) return NodeId::invalid();
+  const auto it = std::find(alive_ring_.begin(), alive_ring_.end(), from);
+  if (it != alive_ring_.end()) {
+    const std::size_t pos =
+        static_cast<std::size_t>(std::distance(alive_ring_.begin(), it));
+    return alive_ring_[(pos + 1) % alive_ring_.size()];
+  }
+  // `from` was removed: walk the original ring order to the next survivor.
+  const auto orig =
+      std::find(topo_.top_ring.begin(), topo_.top_ring.end(), from);
+  if (orig == topo_.top_ring.end()) return alive_ring_.front();
+  const std::size_t start =
+      static_cast<std::size_t>(std::distance(topo_.top_ring.begin(), orig));
+  for (std::size_t k = 1; k <= topo_.top_ring.size(); ++k) {
+    const NodeId cand = topo_.top_ring[(start + k) % topo_.top_ring.size()];
+    if (std::find(alive_ring_.begin(), alive_ring_.end(), cand) !=
+        alive_ring_.end()) {
+      return cand;
+    }
+  }
+  return alive_ring_.front();
+}
+
+NodeId RingNetProtocol::leader_br() const {
+  return alive_ring_.empty() ? NodeId::invalid() : alive_ring_.front();
+}
+
+net::LossProcess& RingNetProtocol::loss_process(
+    NodeId link_key, const net::ChannelModel& model) {
+  const auto it = loss_.find(link_key);
+  if (it != loss_.end()) return it->second;
+  return loss_.emplace(link_key, net::LossProcess(model)).first->second;
+}
+
+sim::SimTime RingNetProtocol::hop_delay(const net::ChannelModel& model,
+                                        NodeId link_key,
+                                        std::uint32_t bytes) {
+  net::LossProcess& lp = loss_process(link_key, model);
+  sim::SimTime d = model.one_way(bytes);
+  const int budget = std::max(1, config_.options.max_retx);
+  for (int attempt = 1; attempt < budget && lp.lost(sim_.rng()); ++attempt) {
+    sim_.metrics().incr("arq.retransmits");
+    d += config_.options.retx_timeout + model.one_way(bytes);
+  }
+  return d;
+}
+
+sim::SimTime RingNetProtocol::uplink_delay(NodeId mh, std::uint32_t bytes) {
+  const MhNode& m = *mh_by_id_.at(mh);
+  const NodeId ap = m.ap_;
+  const NodeId ag = topo_.desc(ap).parent;
+  return hop_delay(config_.hierarchy.wireless, mh, bytes) +
+         hop_delay(config_.hierarchy.lan, ap, bytes) +
+         hop_delay(config_.hierarchy.lan, ag, bytes);
+}
+
+sim::SimTime RingNetProtocol::downlink_delay(NodeId mh, std::uint32_t bytes) {
+  return uplink_delay(mh, bytes);  // symmetric channel models
+}
+
+void RingNetProtocol::note_wq_depth(const BrNode& br) {
+  sim_.metrics().gauge_max(
+      "buf.wq.peak",
+      static_cast<double>(br.staging_.size() + br.wq_.size()));
+}
+
+}  // namespace ringnet::core

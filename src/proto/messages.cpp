@@ -1,0 +1,271 @@
+#include "proto/messages.hpp"
+
+#include <algorithm>
+
+namespace ringnet::proto {
+
+// ---------------------------------------------------------------------------
+// OrderingToken
+
+GlobalSeq OrderingToken::append_range(NodeId ordering_node, NodeId source,
+                                      LocalSeq first, LocalSeq last) {
+  WtsnpEntry e;
+  e.ordering_node = ordering_node;
+  e.source = source;
+  e.first = first;
+  e.last = last;
+  e.gseq_first = next_gseq_;
+  entries_.push_back(e);
+  next_gseq_ += last - first + 1;
+  return e.gseq_first;
+}
+
+void OrderingToken::prune_entries_of(NodeId ordering_node) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [ordering_node](const WtsnpEntry& e) {
+                                  return e.ordering_node == ordering_node;
+                                }),
+                 entries_.end());
+}
+
+std::optional<GlobalSeq> OrderingToken::lookup(NodeId source,
+                                               LocalSeq lseq) const {
+  // Scan newest-first: a re-appended range for the same source supersedes
+  // older rows still awaiting their pruning rotation.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->source == source && it->first <= lseq && lseq <= it->last) {
+      return it->gseq_first + (lseq - it->first);
+    }
+  }
+  return std::nullopt;
+}
+
+void OrderingToken::serialize(WireWriter& w) const {
+  w.u32(gid_.v);
+  w.u64(epoch_);
+  w.u64(serial_);
+  w.u64(rotation_);
+  w.u64(next_gseq_);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    w.node(e.ordering_node);
+    w.node(e.source);
+    w.u64(e.first);
+    w.u64(e.last);
+    w.u64(e.gseq_first);
+  }
+}
+
+std::optional<OrderingToken> OrderingToken::deserialize(WireReader& r) {
+  const auto gid = r.u32();
+  const auto epoch = r.u64();
+  const auto serial = r.u64();
+  const auto rotation = r.u64();
+  const auto next_gseq = r.u64();
+  const auto n = r.u32();
+  if (!gid || !epoch || !serial || !rotation || !next_gseq || !n) {
+    return std::nullopt;
+  }
+  OrderingToken t(GroupId{*gid}, *epoch);
+  t.serial_ = *serial;
+  t.rotation_ = *rotation;
+  t.next_gseq_ = *next_gseq;
+  t.entries_.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    const auto on = r.node();
+    const auto src = r.node();
+    const auto first = r.u64();
+    const auto last = r.u64();
+    const auto gfirst = r.u64();
+    if (!on || !src || !first || !last || !gfirst) return std::nullopt;
+    WtsnpEntry e;
+    e.ordering_node = *on;
+    e.source = *src;
+    e.first = *first;
+    e.last = *last;
+    e.gseq_first = *gfirst;
+    t.entries_.push_back(e);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Message envelope
+
+MsgType Message::type() const {
+  struct Visitor {
+    MsgType operator()(const DataMsg&) const { return MsgType::Data; }
+    MsgType operator()(const OrderingToken&) const { return MsgType::Token; }
+    MsgType operator()(const DeliveryAckMsg&) const {
+      return MsgType::DeliveryAck;
+    }
+    MsgType operator()(const MembershipMsg&) const {
+      return MsgType::Membership;
+    }
+    MsgType operator()(const HeartbeatMsg&) const { return MsgType::Heartbeat; }
+  };
+  return std::visit(Visitor{}, body_);
+}
+
+namespace {
+
+void encode_body(const DataMsg& m, WireWriter& w) {
+  w.u32(m.gid.v);
+  w.node(m.source);
+  w.u64(m.lseq);
+  w.node(m.ordering_node);
+  w.u64(m.gseq);
+  w.u64(m.epoch);
+  w.u32(m.payload_size);
+}
+
+std::optional<Message> decode_data(WireReader& r) {
+  const auto gid = r.u32();
+  const auto source = r.node();
+  const auto lseq = r.u64();
+  const auto ordering = r.node();
+  const auto gseq = r.u64();
+  const auto epoch = r.u64();
+  const auto payload = r.u32();
+  if (!gid || !source || !lseq || !ordering || !gseq || !epoch || !payload) {
+    return std::nullopt;
+  }
+  DataMsg m;
+  m.gid = GroupId{*gid};
+  m.source = *source;
+  m.lseq = *lseq;
+  m.ordering_node = *ordering;
+  m.gseq = *gseq;
+  m.epoch = *epoch;
+  m.payload_size = *payload;
+  return Message(m);
+}
+
+void encode_body(const DeliveryAckMsg& m, WireWriter& w) {
+  w.u32(m.gid.v);
+  w.node(m.member);
+  w.u64(m.watermark);
+}
+
+std::optional<Message> decode_ack(WireReader& r) {
+  const auto gid = r.u32();
+  const auto member = r.node();
+  const auto wm = r.u64();
+  if (!gid || !member || !wm) return std::nullopt;
+  DeliveryAckMsg m;
+  m.gid = GroupId{*gid};
+  m.member = *member;
+  m.watermark = *wm;
+  return Message(m);
+}
+
+void encode_body(const MembershipMsg& m, WireWriter& w) {
+  w.u32(m.gid.v);
+  w.node(m.origin);
+  w.u32(static_cast<std::uint32_t>(m.events.size()));
+  for (const auto& e : m.events) {
+    w.node(e.mh);
+    w.node(e.ap);
+  }
+}
+
+std::optional<Message> decode_membership(WireReader& r) {
+  const auto gid = r.u32();
+  const auto origin = r.node();
+  const auto n = r.u32();
+  if (!gid || !origin || !n) return std::nullopt;
+  MembershipMsg m;
+  m.gid = GroupId{*gid};
+  m.origin = *origin;
+  m.events.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    const auto mh = r.node();
+    const auto ap = r.node();
+    if (!mh || !ap) return std::nullopt;
+    m.events.push_back(MembershipMsg::Event{*mh, *ap});
+  }
+  return Message(m);
+}
+
+void encode_body(const HeartbeatMsg& m, WireWriter& w) {
+  w.node(m.from);
+  w.u64(m.beat);
+}
+
+std::optional<Message> decode_heartbeat(WireReader& r) {
+  const auto from = r.node();
+  const auto beat = r.u64();
+  if (!from || !beat) return std::nullopt;
+  HeartbeatMsg m;
+  m.from = *from;
+  m.beat = *beat;
+  return Message(m);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(msg.type()));
+  struct Visitor {
+    WireWriter& w;
+    void operator()(const DataMsg& m) const { encode_body(m, w); }
+    void operator()(const OrderingToken& m) const { m.serialize(w); }
+    void operator()(const DeliveryAckMsg& m) const { encode_body(m, w); }
+    void operator()(const MembershipMsg& m) const { encode_body(m, w); }
+    void operator()(const HeartbeatMsg& m) const { encode_body(m, w); }
+  };
+  std::visit(Visitor{w}, msg.body());
+  return w.take();
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
+  WireReader r(bytes);
+  const auto type = r.u8();
+  if (!type) return std::nullopt;
+  std::optional<Message> out;
+  switch (static_cast<MsgType>(*type)) {
+    case MsgType::Data:
+      out = decode_data(r);
+      break;
+    case MsgType::Token: {
+      auto t = OrderingToken::deserialize(r);
+      if (t) out.emplace(std::move(*t));
+      break;
+    }
+    case MsgType::DeliveryAck:
+      out = decode_ack(r);
+      break;
+    case MsgType::Membership:
+      out = decode_membership(r);
+      break;
+    case MsgType::Heartbeat:
+      out = decode_heartbeat(r);
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!out || !r.exhausted()) return std::nullopt;
+  return out;
+}
+
+std::size_t wire_size(const Message& msg) {
+  // Envelope tag + body. Data payload bytes ride outside the descriptor.
+  std::size_t body = 0;
+  struct Visitor {
+    std::size_t& body;
+    void operator()(const DataMsg& m) const { body = 40 + m.payload_size; }
+    void operator()(const OrderingToken& m) const {
+      body = 40 + m.entries().size() * 32;
+    }
+    void operator()(const DeliveryAckMsg&) const { body = 16; }
+    void operator()(const MembershipMsg& m) const {
+      body = 12 + m.events.size() * 8;
+    }
+    void operator()(const HeartbeatMsg&) const { body = 12; }
+  };
+  std::visit(Visitor{body}, msg.body());
+  return 1 + body;
+}
+
+}  // namespace ringnet::proto

@@ -1,0 +1,60 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ringnet::stats {
+
+namespace {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+Table::Row& Table::Row::cell(std::int64_t v) {
+  return cell(std::to_string(v));
+}
+
+Table::Row& Table::Row::cell(std::uint64_t v) {
+  return cell(std::to_string(v));
+}
+
+Table::Row& Table::Row::cell(double v, int precision) {
+  return cell(format_double(v, precision));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& r : rows_) {
+    const auto& cells = r.cells();
+    for (std::size_t c = 0; c < cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], cells[c].size());
+    }
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << "  ";
+      for (std::size_t pad = s.size(); pad < widths[c]; ++pad) os << ' ';
+      os << s;
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 2 * widths.size();
+  for (const auto w : widths) total += w;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& r : rows_) emit(r.cells());
+  os << '\n';
+}
+
+}  // namespace ringnet::stats

@@ -1,0 +1,91 @@
+#pragma once
+// Minimal single-header test harness: CHECK/CHECK_EQ/CHECK_NEAR macros, a
+// TEST() registry and a main() that runs every case. One executable per
+// test file, registered with ctest — no external framework dependency.
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ringnet::test {
+
+struct Case {
+  std::string name;
+  std::function<void()> fn;
+};
+
+inline std::vector<Case>& registry() {
+  static std::vector<Case> cases;
+  return cases;
+}
+
+inline int& failures() {
+  static int n = 0;
+  return n;
+}
+
+struct Registrar {
+  Registrar(const char* name, std::function<void()> fn) {
+    registry().push_back(Case{name, std::move(fn)});
+  }
+};
+
+inline int run_all() {
+  int failed_cases = 0;
+  for (const auto& c : registry()) {
+    const int before = failures();
+    c.fn();
+    if (failures() != before) {
+      ++failed_cases;
+      std::printf("[FAIL] %s\n", c.name.c_str());
+    } else {
+      std::printf("[ ok ] %s\n", c.name.c_str());
+    }
+  }
+  if (failed_cases > 0) {
+    std::printf("%d/%zu case(s) FAILED\n", failed_cases, registry().size());
+    return 1;
+  }
+  std::printf("all %zu case(s) passed\n", registry().size());
+  return 0;
+}
+
+}  // namespace ringnet::test
+
+#define TEST(name)                                                       \
+  static void test_fn_##name();                                          \
+  static const ::ringnet::test::Registrar registrar_##name(#name,        \
+                                                           test_fn_##name); \
+  static void test_fn_##name()
+
+#define CHECK(cond)                                                      \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ++::ringnet::test::failures();                                     \
+      std::printf("  CHECK failed: %s (%s:%d)\n", #cond, __FILE__,       \
+                  __LINE__);                                             \
+    }                                                                    \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                   \
+  do {                                                                   \
+    if (!((a) == (b))) {                                                 \
+      ++::ringnet::test::failures();                                     \
+      std::printf("  CHECK_EQ failed: %s == %s (%s:%d)\n", #a, #b,       \
+                  __FILE__, __LINE__);                                   \
+    }                                                                    \
+  } while (0)
+
+#define CHECK_NEAR(a, b, eps)                                            \
+  do {                                                                   \
+    if (!(std::fabs((a) - (b)) <= (eps))) {                              \
+      ++::ringnet::test::failures();                                     \
+      std::printf("  CHECK_NEAR failed: %s ~ %s +/- %s (%s:%d)\n", #a,   \
+                  #b, #eps, __FILE__, __LINE__);                         \
+    }                                                                    \
+  } while (0)
+
+#define TEST_MAIN()                                                      \
+  int main() { return ::ringnet::test::run_all(); }

@@ -1,0 +1,148 @@
+// Codec round-trips for every message kind, plus malformed-input safety:
+// decode() must reject truncation, trailing garbage and unknown tags
+// rather than mis-parse.
+
+#include "proto/messages.hpp"
+#include "ringnet_test.hpp"
+
+using namespace ringnet;
+
+namespace {
+
+proto::DataMsg sample_data() {
+  proto::DataMsg m;
+  m.gid = GroupId{7};
+  m.source = NodeId{42};
+  m.lseq = 123456789ull;
+  m.ordering_node = NodeId::make(Tier::BR, 3);
+  m.gseq = 987654321ull;
+  m.epoch = 5;
+  m.payload_size = 1024;
+  return m;
+}
+
+}  // namespace
+
+TEST(data_round_trip) {
+  const proto::Message msg = sample_data();
+  const auto bytes = proto::encode(msg);
+  const auto decoded = proto::decode(bytes);
+  CHECK(decoded.has_value());
+  CHECK(decoded->type() == proto::MsgType::Data);
+  const auto& d = decoded->data();
+  const auto ref = sample_data();
+  CHECK_EQ(d.gid.v, ref.gid.v);
+  CHECK_EQ(d.source.v, ref.source.v);
+  CHECK_EQ(d.lseq, ref.lseq);
+  CHECK_EQ(d.ordering_node.v, ref.ordering_node.v);
+  CHECK_EQ(d.gseq, ref.gseq);
+  CHECK_EQ(d.epoch, ref.epoch);
+  CHECK_EQ(d.payload_size, ref.payload_size);
+}
+
+TEST(ack_round_trip) {
+  proto::DeliveryAckMsg a;
+  a.gid = GroupId{1};
+  a.member = NodeId::make(Tier::MH, 17);
+  a.watermark = 5555;
+  const auto decoded = proto::decode(proto::encode(proto::Message(a)));
+  CHECK(decoded.has_value());
+  CHECK(decoded->type() == proto::MsgType::DeliveryAck);
+  CHECK_EQ(decoded->ack().member.v, a.member.v);
+  CHECK_EQ(decoded->ack().watermark, a.watermark);
+}
+
+TEST(membership_round_trip) {
+  proto::MembershipMsg m;
+  m.gid = GroupId{1};
+  m.origin = NodeId::make(Tier::BR, 0);
+  m.events.push_back(
+      {NodeId::make(Tier::MH, 1), NodeId::make(Tier::AP, 2)});
+  m.events.push_back({NodeId::make(Tier::MH, 3), NodeId::invalid()});
+  const auto decoded = proto::decode(proto::encode(proto::Message(m)));
+  CHECK(decoded.has_value());
+  CHECK(decoded->type() == proto::MsgType::Membership);
+  CHECK_EQ(decoded->membership().events.size(), std::size_t{2});
+  CHECK_EQ(decoded->membership().events[0].ap.v,
+           NodeId::make(Tier::AP, 2).v);
+  CHECK(!decoded->membership().events[1].ap.valid());
+}
+
+TEST(heartbeat_round_trip) {
+  proto::HeartbeatMsg h;
+  h.from = NodeId::make(Tier::BR, 2);
+  h.beat = 99;
+  const auto decoded = proto::decode(proto::encode(proto::Message(h)));
+  CHECK(decoded.has_value());
+  CHECK(decoded->type() == proto::MsgType::Heartbeat);
+  CHECK_EQ(decoded->heartbeat().beat, std::uint64_t{99});
+}
+
+TEST(malformed_rejected) {
+  const auto bytes = proto::encode(proto::Message(sample_data()));
+  // Truncations at every prefix length must fail cleanly.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + cut);
+    CHECK(!proto::decode(prefix).has_value());
+  }
+  // Trailing garbage is rejected too.
+  auto padded = bytes;
+  padded.push_back(0xAB);
+  CHECK(!proto::decode(padded).has_value());
+  // Unknown type tag.
+  auto bogus = bytes;
+  bogus[0] = 0x7F;
+  CHECK(!proto::decode(bogus).has_value());
+  CHECK(!proto::decode({}).has_value());
+}
+
+TEST(wire_size_matches_encode) {
+  // wire_size() must agree byte-for-byte with the materialized encoding
+  // (modulo the data payload, which rides outside the descriptor).
+  proto::DataMsg d = sample_data();
+  d.payload_size = 0;
+  CHECK_EQ(proto::wire_size(proto::Message(d)),
+           proto::encode(proto::Message(d)).size());
+  d.payload_size = 256;
+  CHECK_EQ(proto::wire_size(proto::Message(d)),
+           proto::encode(proto::Message(d)).size() + 256);
+
+  proto::DeliveryAckMsg a;
+  CHECK_EQ(proto::wire_size(proto::Message(a)),
+           proto::encode(proto::Message(a)).size());
+
+  proto::MembershipMsg m;
+  m.events.push_back({NodeId{1}, NodeId{2}});
+  m.events.push_back({NodeId{3}, NodeId{4}});
+  CHECK_EQ(proto::wire_size(proto::Message(m)),
+           proto::encode(proto::Message(m)).size());
+
+  proto::HeartbeatMsg h;
+  CHECK_EQ(proto::wire_size(proto::Message(h)),
+           proto::encode(proto::Message(h)).size());
+
+  proto::OrderingToken t(GroupId{1}, 1);
+  t.append_range(NodeId{1}, NodeId{2}, 0, 9);
+  t.append_range(NodeId{2}, NodeId{3}, 0, 9);
+  CHECK_EQ(proto::wire_size(proto::Message(t)),
+           proto::encode(proto::Message(t)).size());
+}
+
+TEST(wire_primitives) {
+  proto::WireWriter w;
+  w.u8(0x12);
+  w.u16(0x3456);
+  w.u32(0x789ABCDE);
+  w.u64(0x1122334455667788ull);
+  CHECK_EQ(w.size(), std::size_t{15});
+  proto::WireReader r(w.bytes());
+  CHECK_EQ(*r.u8(), 0x12);
+  CHECK_EQ(*r.u16(), 0x3456);
+  CHECK_EQ(*r.u32(), 0x789ABCDEu);
+  CHECK_EQ(*r.u64(), 0x1122334455667788ull);
+  CHECK(r.exhausted());
+  CHECK(!r.u8().has_value());
+}
+
+TEST_MAIN()

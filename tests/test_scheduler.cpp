@@ -1,0 +1,78 @@
+// Event-heap scheduler: timestamp ordering, FIFO tie-breaking (the
+// determinism keystone), run_until horizon semantics and re-entrant
+// scheduling from inside handlers.
+
+#include <vector>
+
+#include "ringnet_test.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace ringnet;
+
+TEST(orders_by_timestamp) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(sim::SimTime{30}, [&] { order.push_back(3); });
+  s.schedule_at(sim::SimTime{10}, [&] { order.push_back(1); });
+  s.schedule_at(sim::SimTime{20}, [&] { order.push_back(2); });
+  s.run_to_completion();
+  CHECK_EQ(order.size(), std::size_t{3});
+  CHECK_EQ(order[0], 1);
+  CHECK_EQ(order[1], 2);
+  CHECK_EQ(order[2], 3);
+  CHECK_EQ(s.now().us, std::int64_t{30});
+}
+
+TEST(equal_timestamps_run_fifo) {
+  sim::Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.schedule_at(sim::SimTime{5}, [&order, i] { order.push_back(i); });
+  }
+  s.run_to_completion();
+  for (int i = 0; i < 100; ++i) CHECK_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(run_until_respects_horizon) {
+  sim::Scheduler s;
+  int fired = 0;
+  s.schedule_at(sim::SimTime{10}, [&] { ++fired; });
+  s.schedule_at(sim::SimTime{20}, [&] { ++fired; });
+  s.schedule_at(sim::SimTime{30}, [&] { ++fired; });
+  s.run_until(sim::SimTime{20});
+  CHECK_EQ(fired, 2);
+  CHECK_EQ(s.now().us, std::int64_t{20});
+  CHECK_EQ(s.pending(), std::size_t{1});
+  s.run_until(sim::SimTime{100});
+  CHECK_EQ(fired, 3);
+  CHECK_EQ(s.now().us, std::int64_t{100});  // advances past the last event
+}
+
+TEST(reentrant_scheduling) {
+  sim::Scheduler s;
+  std::vector<std::int64_t> at;
+  // Each handler schedules its successor; the chain must run in-order
+  // within a single run_to_completion.
+  std::function<void()> chain = [&] {
+    at.push_back(s.now().us);
+    if (at.size() < 5) s.schedule_at(sim::SimTime{s.now().us + 7}, chain);
+  };
+  s.schedule_at(sim::SimTime{0}, chain);
+  s.run_to_completion();
+  CHECK_EQ(at.size(), std::size_t{5});
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    CHECK_EQ(at[i], static_cast<std::int64_t>(7 * i));
+  }
+}
+
+TEST(same_time_event_from_handler_still_runs) {
+  sim::Scheduler s;
+  bool inner = false;
+  s.schedule_at(sim::SimTime{10}, [&] {
+    s.schedule_at(sim::SimTime{10}, [&] { inner = true; });
+  });
+  s.run_until(sim::SimTime{10});
+  CHECK(inner);
+}
+
+TEST_MAIN()

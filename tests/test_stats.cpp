@@ -1,0 +1,67 @@
+// Histogram quantile accuracy (log-bucketed: ~1.6% relative error) and
+// Table formatting.
+
+#include <sstream>
+
+#include "ringnet_test.hpp"
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+
+using namespace ringnet;
+
+TEST(histogram_basic_moments) {
+  stats::Histogram h;
+  CHECK_EQ(h.count(), std::uint64_t{0});
+  CHECK_EQ(h.p99(), std::uint64_t{0});
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  CHECK_EQ(h.count(), std::uint64_t{100});
+  CHECK_EQ(h.max(), std::uint64_t{100});
+  CHECK_EQ(h.min(), std::uint64_t{1});
+  CHECK_NEAR(h.mean(), 50.5, 1e-9);
+}
+
+TEST(histogram_quantiles_within_bucket_error) {
+  stats::Histogram h;
+  for (std::uint64_t v = 0; v < 100000; ++v) h.record(v);
+  const double tolerance = 0.02;  // 2% relative bucket error
+  CHECK_NEAR(static_cast<double>(h.p50()), 50000.0, 50000.0 * tolerance);
+  CHECK_NEAR(static_cast<double>(h.p90()), 90000.0, 90000.0 * tolerance);
+  CHECK_NEAR(static_cast<double>(h.p99()), 99000.0, 99000.0 * tolerance);
+  CHECK_EQ(h.percentile(1.0), std::uint64_t{99999});
+}
+
+TEST(histogram_small_values_exact) {
+  stats::Histogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.record(v);
+  // Values below the sub-bucket count land in exact unit buckets.
+  CHECK_EQ(h.percentile(0.0), std::uint64_t{0});
+  CHECK_EQ(h.p50(), std::uint64_t{31});
+}
+
+TEST(table_renders_rows) {
+  stats::Table t("demo", {"name", "value", "ratio"});
+  t.row().cell("alpha").cell(std::int64_t{42}).cell(0.51234, 3);
+  t.row().cell("beta").cell(std::uint64_t{7}).cell(1.0, 3);
+  CHECK_EQ(t.row_count(), std::size_t{2});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  CHECK(out.find("demo") != std::string::npos);
+  CHECK(out.find("alpha") != std::string::npos);
+  CHECK(out.find("42") != std::string::npos);
+  CHECK(out.find("0.512") != std::string::npos);
+  CHECK(out.find("ratio") != std::string::npos);
+}
+
+TEST(table_row_chaining_stays_valid_across_growth) {
+  stats::Table t("growth", {"i"});
+  // Rows live in a deque: earlier Row& references must survive appends.
+  auto& first = t.row();
+  for (int i = 0; i < 100; ++i) t.row().cell(std::int64_t{i});
+  first.cell("still-here");
+  std::ostringstream os;
+  t.print(os);
+  CHECK(os.str().find("still-here") != std::string::npos);
+}
+
+TEST_MAIN()

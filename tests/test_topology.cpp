@@ -1,0 +1,96 @@
+// Hierarchy construction: tier inventories, ring closure, parent/child
+// symmetry, leader consistency, br_of path walking, and validate()'s
+// ability to actually catch corruption.
+
+#include "ringnet_test.hpp"
+#include "topo/hierarchy.hpp"
+
+using namespace ringnet;
+
+TEST(shapes_and_counts) {
+  for (const auto& [brs, ags, aps, mhs] :
+       {std::tuple{2, 1, 1, 1}, std::tuple{3, 3, 2, 2},
+        std::tuple{8, 4, 4, 4}}) {
+    topo::HierarchyConfig cfg;
+    cfg.num_brs = static_cast<std::size_t>(brs);
+    cfg.ags_per_br = static_cast<std::size_t>(ags);
+    cfg.aps_per_ag = static_cast<std::size_t>(aps);
+    cfg.mhs_per_ap = static_cast<std::size_t>(mhs);
+    const auto topo = topo::build_hierarchy(cfg);
+    CHECK(!topo.validate().has_value());
+    CHECK_EQ(topo.top_ring.size(), cfg.num_brs);
+    CHECK_EQ(topo.ag_rings.size(), cfg.num_brs);
+    CHECK_EQ(topo.aps.size(), cfg.num_brs * cfg.ags_per_br * cfg.aps_per_ag);
+    CHECK_EQ(topo.mhs.size(), topo.aps.size() * cfg.mhs_per_ap);
+    CHECK_EQ(topo.entity_count(),
+             cfg.num_brs + cfg.num_brs * cfg.ags_per_br + topo.aps.size() +
+                 topo.mhs.size());
+  }
+}
+
+TEST(ring_closure_and_leader) {
+  topo::HierarchyConfig cfg;
+  cfg.num_brs = 5;
+  const auto topo = topo::build_hierarchy(cfg);
+  // Walking `next` from the leader returns to it in exactly num_brs hops.
+  NodeId cur = topo.top_ring.front();
+  for (std::size_t i = 0; i < cfg.num_brs; ++i) {
+    CHECK_EQ(topo.desc(cur).nbrs.leader.v, topo.top_ring.front().v);
+    cur = topo.desc(cur).nbrs.next;
+  }
+  CHECK_EQ(cur.v, topo.top_ring.front().v);
+  // prev is the inverse of next.
+  for (NodeId br : topo.top_ring) {
+    CHECK_EQ(topo.desc(topo.desc(br).nbrs.next).nbrs.prev.v, br.v);
+  }
+}
+
+TEST(br_of_walks_to_the_root) {
+  topo::HierarchyConfig cfg;
+  cfg.num_brs = 3;
+  cfg.ags_per_br = 2;
+  cfg.aps_per_ag = 2;
+  cfg.mhs_per_ap = 2;
+  const auto topo = topo::build_hierarchy(cfg);
+  for (NodeId mh : topo.mhs) {
+    const NodeId br = topo.br_of(mh);
+    CHECK(br.valid());
+    CHECK(br.tier() == Tier::BR);
+    // The MH must be inside that BR's subtree: walk up explicitly.
+    NodeId cur = mh;
+    while (topo.desc(cur).parent.valid()) cur = topo.desc(cur).parent;
+    CHECK_EQ(cur.v, br.v);
+  }
+  for (NodeId br : topo.top_ring) CHECK_EQ(topo.br_of(br).v, br.v);
+}
+
+TEST(validate_catches_corruption) {
+  topo::HierarchyConfig cfg;
+  cfg.num_brs = 3;
+  auto topo = topo::build_hierarchy(cfg);
+  CHECK(!topo.validate().has_value());
+  // Break the ring.
+  auto broken = topo;
+  broken.desc(broken.top_ring[0]).nbrs.next = broken.top_ring[0];
+  CHECK(broken.validate().has_value());
+  // Break a parent link.
+  auto orphaned = topo;
+  orphaned.desc(orphaned.mhs[0]).parent = NodeId::invalid();
+  CHECK(orphaned.validate().has_value());
+  // Break the leader.
+  auto misled = topo;
+  misled.desc(misled.top_ring[1]).nbrs.leader = misled.top_ring[1];
+  CHECK(misled.validate().has_value());
+}
+
+TEST(node_id_tiers_and_names) {
+  const NodeId br = NodeId::make(Tier::BR, 7);
+  CHECK(br.tier() == Tier::BR);
+  CHECK_EQ(br.index(), std::uint32_t{7});
+  CHECK(to_string(br) == "BR7");
+  CHECK(to_string(NodeId::make(Tier::MH, 12)) == "MH12");
+  CHECK(to_string(NodeId{5}) == "N5");
+  CHECK(!NodeId::invalid().valid());
+}
+
+TEST_MAIN()

@@ -1,0 +1,78 @@
+// Rng determinism/distribution sanity and parallel_map ordering,
+// correctness and exception propagation.
+
+#include <stdexcept>
+
+#include "ringnet_test.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace ringnet;
+
+TEST(rng_deterministic_per_seed) {
+  util::Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next();
+    all_equal = all_equal && (va == b.next());
+    any_diff = any_diff || (va != c.next());
+  }
+  CHECK(all_equal);
+  CHECK(any_diff);
+}
+
+TEST(rng_uniform_range_and_mean) {
+  util::Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    CHECK(u >= 0.0);
+    CHECK(u < 1.0);
+    sum += u;
+  }
+  CHECK_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(rng_exponential_mean) {
+  util::Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(4.0);
+  CHECK_NEAR(sum / 20000.0, 0.25, 0.02);
+}
+
+TEST(parallel_map_preserves_order) {
+  const auto out = util::parallel_map<std::size_t>(
+      1000, [](std::size_t i) { return i * i; });
+  CHECK_EQ(out.size(), std::size_t{1000});
+  bool ok = true;
+  for (std::size_t i = 0; i < out.size(); ++i) ok = ok && out[i] == i * i;
+  CHECK(ok);
+}
+
+TEST(parallel_map_edge_sizes) {
+  CHECK(util::parallel_map<int>(0, [](std::size_t) { return 1; }).empty());
+  const auto one =
+      util::parallel_map<int>(1, [](std::size_t) { return 5; });
+  CHECK_EQ(one.size(), std::size_t{1});
+  CHECK_EQ(one[0], 5);
+  // More workers requested than items.
+  const auto few = util::parallel_map<int>(
+      3, [](std::size_t i) { return static_cast<int>(i); }, 16);
+  CHECK_EQ(few.size(), std::size_t{3});
+  CHECK_EQ(few[2], 2);
+}
+
+TEST(parallel_map_propagates_exceptions) {
+  bool threw = false;
+  try {
+    util::parallel_map<int>(100, [](std::size_t i) -> int {
+      if (i == 57) throw std::runtime_error("boom");
+      return 0;
+    });
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  CHECK(threw);
+}
+
+TEST_MAIN()

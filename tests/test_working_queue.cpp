@@ -1,0 +1,68 @@
+// WorkingQueue (WQ) semantics: FIFO assignment order, in-place mutation by
+// the ordering functor, rejection counting, and drain-on-assign.
+
+#include "core/working_queue.hpp"
+#include "ringnet_test.hpp"
+
+using namespace ringnet;
+
+namespace {
+
+proto::DataMsg mk(std::uint32_t source, LocalSeq lseq) {
+  proto::DataMsg m;
+  m.source = NodeId{source};
+  m.lseq = lseq;
+  return m;
+}
+
+}  // namespace
+
+TEST(fifo_assignment) {
+  core::WorkingQueue wq;
+  wq.add(mk(1, 0));
+  wq.add(mk(2, 0));
+  wq.add(mk(1, 1));
+  CHECK_EQ(wq.size(), std::size_t{3});
+
+  GlobalSeq next = 100;
+  std::size_t dropped = 0;
+  const auto out = wq.assign(
+      [&next](proto::DataMsg& m) {
+        m.gseq = next++;
+        return true;
+      },
+      dropped);
+  CHECK_EQ(out.size(), std::size_t{3});
+  CHECK_EQ(dropped, std::size_t{0});
+  CHECK(wq.empty());
+  // FIFO: arrival order defines gseq order.
+  CHECK_EQ(out[0].gseq, GlobalSeq{100});
+  CHECK_EQ(out[0].source.v, std::uint32_t{1});
+  CHECK_EQ(out[1].gseq, GlobalSeq{101});
+  CHECK_EQ(out[1].source.v, std::uint32_t{2});
+  CHECK_EQ(out[2].gseq, GlobalSeq{102});
+  CHECK_EQ(out[2].lseq, LocalSeq{1});
+}
+
+TEST(rejections_are_dropped_and_counted) {
+  core::WorkingQueue wq;
+  for (LocalSeq i = 0; i < 6; ++i) wq.add(mk(1, i));
+  std::size_t dropped = 0;
+  const auto out = wq.assign(
+      [](proto::DataMsg& m) { return m.lseq % 2 == 0; }, dropped);
+  CHECK_EQ(out.size(), std::size_t{3});
+  CHECK_EQ(dropped, std::size_t{3});
+  // Rejected messages are not retried on the next assignment pass.
+  std::size_t dropped2 = 0;
+  CHECK(wq.assign([](proto::DataMsg&) { return true; }, dropped2).empty());
+  CHECK_EQ(dropped2, std::size_t{0});
+}
+
+TEST(empty_assign_is_noop) {
+  core::WorkingQueue wq;
+  std::size_t dropped = 0;
+  CHECK(wq.assign([](proto::DataMsg&) { return true; }, dropped).empty());
+  CHECK_EQ(dropped, std::size_t{0});
+}
+
+TEST_MAIN()
