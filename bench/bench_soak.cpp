@@ -1,0 +1,87 @@
+// E11 (Theorem 5.1 at soak scale): "all the buffers only need limited
+// sizes" must hold for arbitrarily long runs, not just 2-second windows.
+// Drives up to millions of messages through the ordering tier and reports
+// peak vs retained state for the assigned-message archive, the per-source
+// submit logs, and the MQs — all pruned by the global acked-floor
+// watermark — plus the wall-clock event rate of the hot paths.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/protocol.hpp"
+
+using namespace ringnet;
+
+int main() {
+  bench::print_header(
+      "E11 — bounded-memory soak",
+      "buffer occupancy is bounded by the ack/token cadence (Theorem 5.1): "
+      "steady-state state is O(retention window), independent of run length");
+
+  struct Point {
+    std::size_t brs;
+    std::size_t sources;
+    double rate_hz;
+    std::uint64_t target_msgs;
+  };
+  const std::vector<Point> points = {
+      {2, 2, 2500.0, 100'000},
+      {4, 4, 2500.0, 500'000},
+      {2, 2, 6500.0, 1'000'000},
+  };
+
+  stats::Table table("soak state: peak vs retained (messages)",
+                     {"BRs", "s", "lambda", "sent", "arch peak", "arch end",
+                      "sublog peak", "sublog end", "MQ peak", "wall ms",
+                      "msg/s wall"});
+  for (const auto& p : points) {
+    sim::Simulation sim(42);
+    core::ProtocolConfig cfg;
+    cfg.hierarchy.num_brs = p.brs;
+    cfg.hierarchy.ags_per_br = 1;
+    cfg.hierarchy.aps_per_ag = 1;
+    cfg.hierarchy.mhs_per_ap = 1;
+    auto wireless = net::ChannelModel::wireless(0.0);
+    wireless.burst_loss = false;
+    wireless.bandwidth_bps = 100e6;
+    cfg.hierarchy.wireless = wireless;
+    cfg.num_sources = p.sources;
+    cfg.source.rate_hz = p.rate_hz;
+    cfg.record_deliveries = false;  // O(total) debug log defeats the point
+    const double seconds =
+        static_cast<double>(p.target_msgs) /
+        (static_cast<double>(p.sources) * p.rate_hz);
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    core::RingNetProtocol proto(sim, cfg);
+    proto.start();
+    sim.run_for(sim::secs(seconds));
+    proto.stop_sources();
+    sim.run_for(sim::secs(2.0));
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+
+    table.row()
+        .cell(static_cast<std::uint64_t>(p.brs))
+        .cell(static_cast<std::uint64_t>(p.sources))
+        .cell(p.rate_hz, 0)
+        .cell(proto.total_sent())
+        .cell(static_cast<std::uint64_t>(proto.archive_peak()))
+        .cell(static_cast<std::uint64_t>(proto.archive_retained()))
+        .cell(static_cast<std::uint64_t>(proto.submit_log_peak()))
+        .cell(static_cast<std::uint64_t>(proto.submit_log_retained()))
+        .cell(sim.metrics().gauge("buf.mq.peak"), 0)
+        .cell(wall_ms, 1)
+        .cell(static_cast<double>(proto.total_sent()) / wall_ms * 1000.0, 0);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: 'arch peak' / 'sublog peak' / 'MQ peak' sit at\n"
+      "O(archive_retention + mq_retention + in-flight window) and do NOT\n"
+      "grow with 'sent' (rows differ 10x in volume, peaks stay flat);\n"
+      "before watermark pruning the archive peak equaled 'sent'.\n");
+  return 0;
+}

@@ -51,6 +51,8 @@ struct RunResult {
   // Buffers
   double wq_peak = 0.0;
   double mq_peak = 0.0;
+  double archive_peak = 0.0;    // peer-repair archive high-watermark
+  double submitlog_peak = 0.0;  // largest per-source submit-log residency
   // Reliability work
   std::uint64_t retransmits = 0;
   std::uint64_t really_lost = 0;

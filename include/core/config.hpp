@@ -39,6 +39,11 @@ struct ProtocolOptions {
   int heartbeat_miss_limit = 4;
   // MQ ValidFront lag: delivered entries retained for handoff resync.
   std::size_t mq_retention = 1024;
+  // Assigned-message archive (peer-repair store) entries retained below the
+  // global acked floor. Together with mq_retention this bounds steady-state
+  // ordering-node memory at O(window) instead of O(total messages sent)
+  // (Theorem 5.1's bounded-buffer claim, enforced by test_soak_memory).
+  std::size_t archive_retention = 1024;
   // §3 smooth handoff: keep reserved distribution paths on neighbor APs.
   bool smooth_handoff = true;
   // Cold-attach penalty: time to graft a new distribution path.

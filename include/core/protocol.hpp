@@ -91,6 +91,43 @@ class DeliveryLog {
 
 class RingNetProtocol;
 
+/// Per-source submit-time log indexed by lseq. A base-offset deque with a
+/// pruned-prefix counter: entries are appended at submit, looked up by lseq
+/// for latency accounting, and released once the message's archive entry
+/// falls below the global acked floor. Release order can differ slightly
+/// from lseq order (uplink ARQ can reorder assignment), so releases mark a
+/// flag and the contiguous released prefix is popped — retained size stays
+/// O(unacked window) while lseq indexing keeps working.
+class SubmitLog {
+ public:
+  void push(sim::SimTime at) { entries_.push_back(Entry{at, false}); }
+
+  std::optional<sim::SimTime> get(LocalSeq lseq) const {
+    if (lseq < base_ || lseq - base_ >= entries_.size()) return std::nullopt;
+    return entries_[static_cast<std::size_t>(lseq - base_)].at;
+  }
+
+  void release(LocalSeq lseq) {
+    if (lseq < base_ || lseq - base_ >= entries_.size()) return;
+    entries_[static_cast<std::size_t>(lseq - base_)].released = true;
+    while (!entries_.empty() && entries_.front().released) {
+      entries_.pop_front();
+      ++base_;
+    }
+  }
+
+  LocalSeq base() const { return base_; }
+  std::size_t retained() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    sim::SimTime at;
+    bool released;
+  };
+  std::deque<Entry> entries_;
+  LocalSeq base_ = 0;  // lseqs below are pruned
+};
+
 /// Mobile host: reorder buffer + delivery bookkeeping.
 class MhNode {
  public:
@@ -172,6 +209,16 @@ class RingNetProtocol {
   /// Inject a stale duplicate token at `at` (Multiple-Token scenario).
   void inject_duplicate_token(NodeId at, std::uint64_t epoch);
 
+  /// Scenario hook: hand `mh` off to `target_ap` now (deterministic
+  /// mobility for tests/benches). `target_ap == current AP` models a radio
+  /// drop and re-attach into the same cell.
+  void force_handoff(NodeId mh, NodeId target_ap);
+
+  /// Scenario hook: eject a live BR from the ring as a false-positive
+  /// failure detection would (the node itself stays up and merges back on
+  /// its next heartbeat).
+  void eject_br(NodeId br);
+
   const topo::Topology& topology() const { return topo_; }
   const ProtocolConfig& config() const { return config_; }
   BrNode& node(NodeId id) { return *brs_.at(id); }
@@ -183,6 +230,17 @@ class RingNetProtocol {
   const stats::Histogram& lat_hist() const { return lat_hist_; }
   const stats::Histogram& assign_hist() const { return assign_hist_; }
 
+  /// Bounded-memory observability (Theorem 5.1 soak assertions).
+  GlobalSeq global_acked_floor() const { return global_acked_floor_; }
+  std::size_t archive_retained() const { return assigned_archive_.size(); }
+  std::size_t archive_peak() const { return archive_peak_; }
+  std::size_t submit_log_retained() const {
+    std::size_t n = 0;
+    for (const auto& s : sources_) n += s.submit_log.retained();
+    return n;
+  }
+  std::size_t submit_log_peak() const { return submit_log_peak_; }
+
  private:
   struct SourceState {
     std::uint32_t index;
@@ -190,7 +248,7 @@ class RingNetProtocol {
     NodeId mh;
     LocalSeq next_lseq = 0;
     std::deque<proto::DataMsg> parked;  // submitted while detached
-    std::vector<sim::SimTime> submit_at;  // indexed by lseq
+    SubmitLog submit_log;  // lseq -> submit time, watermark-pruned
   };
 
   // --- wiring -------------------------------------------------------------
@@ -215,7 +273,7 @@ class RingNetProtocol {
   // --- membership ---------------------------------------------------------
   void queue_membership_event(NodeId mh, NodeId ap);
   void membership_flush_tick(NodeId br);
-  void membership_relay(NodeId br, std::size_t hops_left,
+  void membership_relay(NodeId br, std::vector<NodeId> visited,
                         std::vector<BrNode::MemberEvent> events);
 
   // --- failure handling ---------------------------------------------------
@@ -227,20 +285,27 @@ class RingNetProtocol {
   // --- mobility -----------------------------------------------------------
   void schedule_next_handoff(NodeId mh);
   void perform_handoff(NodeId mh);
+  sim::SimTime begin_handoff(NodeId mh, NodeId target_ap);
   void complete_attach(NodeId mh, NodeId ap);
   bool ap_is_hot(NodeId ap, NodeId exclude_mh) const;
 
   // --- helpers ------------------------------------------------------------
   NodeId next_alive_br(NodeId from) const;
   NodeId leader_br() const;
-  sim::SimTime hop_delay(const net::ChannelModel& model, NodeId link_key,
+  void rebuild_ring_index();
+  sim::SimTime hop_delay(const net::ChannelModel& model, net::LinkKey link,
                          std::uint32_t bytes);
-  net::LossProcess& loss_process(NodeId link_key,
+  net::LossProcess& loss_process(net::LinkKey link,
                                  const net::ChannelModel& model);
   sim::SimTime uplink_delay(NodeId mh, std::uint32_t bytes);
   sim::SimTime downlink_delay(NodeId mh, std::uint32_t bytes);
   void note_wq_depth(const BrNode& br);
   void mark_acked(BrNode& br);
+  void advance_global_floor();
+  void prune_archive();
+  void release_submit(const proto::DataMsg& msg);
+  const proto::DataMsg* archive_lookup(GlobalSeq gseq) const;
+  sim::SimTime archive_stored_at(GlobalSeq gseq) const;
   std::uint32_t data_bytes() const {
     // Envelope tag + DataMsg descriptor (proto::wire_size) + payload.
     return 41 + config_.source.payload_size;
@@ -258,18 +323,34 @@ class RingNetProtocol {
   std::unordered_map<NodeId, std::vector<std::size_t>> sources_on_mh_;
 
   std::vector<NodeId> alive_ring_;  // current top ring (repairs shrink it)
+  // Maintained position indexes over the rings/cells so the per-token and
+  // per-heartbeat hot paths stay O(1) instead of O(ring) linear scans.
+  std::unordered_map<NodeId, std::size_t> ring_pos_;      // alive_ring_ index
+  std::unordered_map<NodeId, std::size_t> top_ring_pos_;  // original ring
+  std::unordered_map<NodeId, std::size_t> ap_pos_;        // topo_.aps index
+  std::unordered_map<NodeId, std::size_t> ap_occupancy_;  // attached MHs
   MobilityModel mobility_;
   DeliveryLog deliveries_;
   stats::Histogram lat_hist_;     // end-to-end, microseconds
   stats::Histogram assign_hist_;  // submit -> gseq assignment, microseconds
 
-  std::unordered_map<NodeId, net::LossProcess> loss_;
+  std::unordered_map<net::LinkKey, net::LossProcess> loss_;
   std::unordered_map<NodeId, std::uint64_t> membership_seq_;
-  // Every assigned message (+ assignment time), keyed by gseq — the
+  // Every assigned message not yet pruned (+ assignment time) — the
   // stand-in for fetching a missing copy from a peer ordering node's MQ
   // when a BR has a hole (e.g. it was wrongly ejected from the ring).
-  std::unordered_map<GlobalSeq, std::pair<proto::DataMsg, sim::SimTime>>
-      assigned_archive_;
+  // Gseqs are assigned contiguously, so the archive is a base-offset deque:
+  // entry for gseq g lives at index (g - archive_base_). Entries below
+  // (global acked floor - archive_retention) are pruned from the front.
+  struct ArchiveEntry {
+    proto::DataMsg msg;
+    sim::SimTime assigned_at;
+  };
+  std::deque<ArchiveEntry> assigned_archive_;
+  GlobalSeq archive_base_ = 0;  // gseq of assigned_archive_.front()
+  GlobalSeq global_acked_floor_ = 0;  // min acked_floor_ over alive BRs
+  std::size_t archive_peak_ = 0;
+  std::size_t submit_log_peak_ = 0;
 
   std::uint64_t total_sent_ = 0;
   bool sources_running_ = false;

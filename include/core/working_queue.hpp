@@ -39,6 +39,8 @@ class WorkingQueue {
 
   std::size_t size() const { return pending_.size(); }
   bool empty() const { return pending_.empty(); }
+  const std::deque<proto::DataMsg>& pending() const { return pending_; }
+  void clear() { pending_.clear(); }
 
  private:
   std::deque<proto::DataMsg> pending_;

@@ -7,10 +7,21 @@
 
 #include <cstdint>
 
+#include "core/types.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
 
 namespace ringnet::net {
+
+/// Identifies one directed (src, dst) link instance. Loss processes are
+/// keyed per link, not per origin node: a burst on one WAN path must not
+/// correlate loss across every destination the origin multicasts to.
+using LinkKey = std::uint64_t;
+
+constexpr LinkKey link_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src.v) << 32) |
+         static_cast<std::uint64_t>(dst.v);
+}
 
 struct ChannelModel {
   sim::SimTime latency = sim::msecs(1);  // one-way propagation

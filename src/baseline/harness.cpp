@@ -71,6 +71,8 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
 
   out.wq_peak = metrics.gauge("buf.wq.peak");
   out.mq_peak = metrics.gauge("buf.mq.peak");
+  out.archive_peak = metrics.gauge("buf.archive.peak");
+  out.submitlog_peak = metrics.gauge("buf.submitlog.peak");
   out.retransmits = metrics.counter("arq.retransmits");
   out.really_lost = metrics.counter("mh.gap_skipped_msgs");
   out.mh_gaps_skipped = metrics.counter("mh.gaps_skipped");

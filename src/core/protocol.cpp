@@ -55,8 +55,11 @@ RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
     brs_.emplace(br,
                  std::make_unique<BrNode>(br, config_.options.mq_retention));
     br_members_.emplace(br, std::vector<NodeId>{});
+    top_ring_pos_.emplace(br, top_ring_pos_.size());
   }
   alive_ring_ = topo_.top_ring;
+  rebuild_ring_index();
+  for (NodeId ap : topo_.aps) ap_pos_.emplace(ap, ap_pos_.size());
 
   for (NodeId mh : topo_.mhs) {
     const NodeId ap = topo_.desc(mh).parent;
@@ -66,6 +69,7 @@ RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
     const NodeId br = topo_.br_of(ap);
     br_members_[br].push_back(mh);
     brs_.at(br)->member_wm_.emplace(mh, 0);
+    ++ap_occupancy_[ap];
   }
 
   // Every BR starts with a converged view: all MHs at their home AP.
@@ -159,7 +163,8 @@ void RingNetProtocol::source_tick(std::size_t idx) {
 }
 
 void RingNetProtocol::submit(SourceState& src, proto::DataMsg msg) {
-  src.submit_at.push_back(sim_.now());
+  src.submit_log.push(sim_.now());
+  submit_log_peak_ = std::max(submit_log_peak_, src.submit_log.retained());
   ++total_sent_;
   MhNode& m = *mh_by_id_.at(src.mh);
   if (!m.attached_) {
@@ -172,12 +177,18 @@ void RingNetProtocol::submit(SourceState& src, proto::DataMsg msg) {
 void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
   MhNode& m = *mh_by_id_.at(mh);
   const NodeId br = topo_.br_of(m.ap_);
-  if (!br.valid()) return;
+  if (!br.valid()) {
+    release_submit(msg);  // dropped before assignment: never archived
+    return;
+  }
   const sim::SimTime delay = uplink_delay(mh, data_bytes());
   if (config_.options.ordered) {
     sim_.after(delay, [this, br, msg] {
       BrNode& b = *brs_.at(br);
-      if (!b.alive_) return;
+      if (!b.alive_) {
+        release_submit(msg);  // lost at a dead BR: never archived
+        return;
+      }
       if (config_.options.tau > sim::SimTime::zero()) {
         b.staging_.push_back(msg);
       } else {
@@ -248,17 +259,25 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
 
   for (const auto& m : batch) {
     if (m.source.index() < sources_.size()) {
-      const auto& at = sources_[m.source.index()].submit_at;
-      if (m.lseq < at.size()) {
-        assign_hist_.record(
-            static_cast<std::uint64_t>((sim_.now() - at[m.lseq]).us));
+      const auto at = sources_[m.source.index()].submit_log.get(m.lseq);
+      if (at) {
+        assign_hist_.record(static_cast<std::uint64_t>((sim_.now() - *at).us));
       }
     }
+    if (!any_assigned_) archive_base_ = m.gseq;
     max_assigned_gseq_ = m.gseq;
     any_assigned_ = true;
-    assigned_archive_.emplace(m.gseq, std::make_pair(m, sim_.now()));
+    assert(m.gseq == archive_base_ + assigned_archive_.size());
+    assigned_archive_.push_back(ArchiveEntry{m, sim_.now()});
   }
-  if (!batch.empty()) distribute(br, batch);
+  if (!batch.empty()) {
+    archive_peak_ = std::max(archive_peak_, assigned_archive_.size());
+    sim_.metrics().gauge_max("buf.archive.peak",
+                             static_cast<double>(assigned_archive_.size()));
+    sim_.metrics().gauge_max("buf.submitlog.peak",
+                             static_cast<double>(submit_log_peak_));
+    distribute(br, batch);
+  }
 
   const NodeId next = next_alive_br(br);
   if (!next.valid()) return;  // ring fully gone
@@ -268,7 +287,8 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
   if (next == br) {
     delay += sim::msecs(1);  // 1-ring (sequencer): pace the self-visit
   } else {
-    delay += hop_delay(config_.hierarchy.wan, br, token_bytes);
+    delay += hop_delay(config_.hierarchy.wan, net::link_key(br, next),
+                       token_bytes);
   }
   token_custodian_ = next;
   sim_.after(delay, [this, next, token] { token_arrive(next, token); });
@@ -279,13 +299,23 @@ void RingNetProtocol::distribute(NodeId origin,
   // Self-delivery is unconditional: the origin has the batch in hand even
   // if a false-positive ejection removed it from alive_ring_.
   for (const auto& m : batch) br_receive_ordered(origin, m);
+  if (alive_ring_.empty() ||
+      (alive_ring_.size() == 1 && ring_pos_.count(origin) != 0)) {
+    return;
+  }
+  // One frame (and one scheduled event) per destination carries the whole
+  // batch; each (origin, destination) link runs its own loss/ARQ process.
+  const auto frame =
+      std::make_shared<const std::vector<proto::DataMsg>>(batch);
+  const std::uint32_t frame_bytes = static_cast<std::uint32_t>(
+      data_bytes() * static_cast<std::uint32_t>(batch.size()));
   for (NodeId br : alive_ring_) {
     if (br == origin) continue;
-    for (const auto& m : batch) {
-      const sim::SimTime delay =
-          hop_delay(config_.hierarchy.wan, origin, data_bytes());
-      sim_.after(delay, [this, br, m] { br_receive_ordered(br, m); });
-    }
+    const sim::SimTime delay = hop_delay(
+        config_.hierarchy.wan, net::link_key(origin, br), frame_bytes);
+    sim_.after(delay, [this, br, frame] {
+      for (const auto& m : *frame) br_receive_ordered(br, m);
+    });
   }
 }
 
@@ -296,6 +326,13 @@ void RingNetProtocol::br_receive_ordered(NodeId br, const proto::DataMsg& msg) {
     if (!b.mq_.store(msg, sim_.now())) return;  // duplicate
     sim_.metrics().gauge_max("buf.mq.peak",
                              static_cast<double>(b.mq_.size()));
+    // With no members there are no acks to drive pruning: advance the
+    // retention window once enough arrivals pile up (amortized, so the
+    // per-message path stays O(1)) to keep an empty BR's MQ bounded.
+    if (b.member_wm_.empty() &&
+        b.mq_.size() > 2 * config_.options.mq_retention + 64) {
+      mark_acked(b);
+    }
   }
   forward_down(br, msg);
 }
@@ -332,11 +369,11 @@ void RingNetProtocol::deliver_at_mh(MhNode& node, const proto::DataMsg& msg) {
   ++node.delivered_;
   node.last_delivery_ = sim_.now();
   sim_.metrics().incr("mh.delivered");
+  sim_.trace().record(sim::TraceKind::Deliver, sim_.now(), node.id_, msg.gseq);
   if (msg.source.index() < sources_.size()) {
-    const auto& at = sources_[msg.source.index()].submit_at;
-    if (msg.lseq < at.size()) {
-      lat_hist_.record(
-          static_cast<std::uint64_t>((sim_.now() - at[msg.lseq]).us));
+    const auto at = sources_[msg.source.index()].submit_log.get(msg.lseq);
+    if (at) {
+      lat_hist_.record(static_cast<std::uint64_t>((sim_.now() - *at).us));
     }
   }
   if (config_.record_deliveries && config_.options.ordered) {
@@ -404,14 +441,24 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
       // wrongly ejected from the ring): once the copy is overdue, fetch
       // it from a peer ordering node, which stores it here and
       // re-forwards down-tree.
-      const auto arch = assigned_archive_.find(g);
-      if (arch == assigned_archive_.end()) continue;
-      if (arch->second.second + grace > sim_.now()) continue;  // in flight
+      const proto::DataMsg* arch = archive_lookup(g);
+      if (!arch) continue;
+      if (archive_stored_at(g) + grace > sim_.now()) continue;  // in flight
       sim_.metrics().incr("arq.retransmits");
       const sim::SimTime delay =
-          hop_delay(config_.hierarchy.wan, br, data_bytes());
-      sim_.after(delay, [this, br, m = arch->second.first] {
+          hop_delay(config_.hierarchy.wan,
+                    net::link_key(arch->ordering_node, br), data_bytes());
+      sim_.after(delay, [this, br, mh, m = *arch] {
+        BrNode& bb = *brs_.at(br);
+        if (!bb.alive_) return;
         br_receive_ordered(br, m);
+        if (!bb.mq_.contains(m.gseq)) {
+          // Below this MQ's delivered watermark (the hole was skipped
+          // while the BR sat memberless): serve the requesting member
+          // directly so it is not wedged behind an unfillable gap.
+          const sim::SimTime down = downlink_delay(mh, data_bytes());
+          sim_.after(down, [this, mh, m] { mh_receive(mh, m, true); });
+        }
       });
       if (++resent >= kResendWindow) break;
       continue;
@@ -430,7 +477,20 @@ void RingNetProtocol::mark_acked(BrNode& b) {
   GlobalSeq floor;
   if (b.member_wm_.empty()) {
     if (!b.mq_.max_seen() && b.mq_.empty()) return;
-    floor = b.mq_.max_seen() + 1;  // nobody to serve: everything is acked
+    // Nobody to serve right now — but an MH may re-attach moments after
+    // the last one left, and marking everything up to max_seen delivered
+    // would poison the MQ against in-flight stragglers (store() rejects
+    // gseqs at or below the delivered watermark) and leave the returnee
+    // only a gap-skip. Ack only what falls out of the retention window.
+    const GlobalSeq newest = b.mq_.max_seen() + 1;
+    const GlobalSeq keep =
+        static_cast<GlobalSeq>(config_.options.mq_retention);
+    floor = newest > keep ? newest - keep : 0;
+    // With no member acks there is no repair path for multicast holes
+    // (e.g. from a false ejection): jump the cursor over anything that
+    // falls out of the retention window, or this BR would wedge the
+    // global acked floor — and archive/submit-log pruning — ring-wide.
+    if (b.mq_.next_expected() < floor) b.mq_.skip_to(floor);
   } else {
     floor = b.member_wm_.begin()->second;
     for (const auto& [mh, wm] : b.member_wm_) {
@@ -443,6 +503,60 @@ void RingNetProtocol::mark_acked(BrNode& b) {
     b.mq_.mark_delivered(b.acked_floor_);
     ++b.acked_floor_;
   }
+  advance_global_floor();
+}
+
+void RingNetProtocol::advance_global_floor() {
+  // Theorem 5.1 watermark: everything below the minimum subtree-acked
+  // floor over live ordering nodes has been delivered ring-wide, so the
+  // archive (and each source's submit log) only retains a bounded window
+  // behind it.
+  GlobalSeq floor = 0;
+  bool any = false;
+  for (const auto& [id, br] : brs_) {
+    (void)id;
+    if (!br->alive_) continue;
+    floor = any ? std::min(floor, br->acked_floor_) : br->acked_floor_;
+    any = true;
+  }
+  if (!any || floor <= global_acked_floor_) return;
+  global_acked_floor_ = floor;
+  prune_archive();
+}
+
+void RingNetProtocol::prune_archive() {
+  const GlobalSeq keep =
+      static_cast<GlobalSeq>(config_.options.archive_retention);
+  const GlobalSeq cut =
+      global_acked_floor_ > keep ? global_acked_floor_ - keep : 0;
+  std::size_t pruned = 0;
+  while (archive_base_ < cut && !assigned_archive_.empty()) {
+    release_submit(assigned_archive_.front().msg);
+    assigned_archive_.pop_front();
+    ++archive_base_;
+    ++pruned;
+  }
+  if (pruned > 0) sim_.metrics().incr("archive.pruned", pruned);
+}
+
+void RingNetProtocol::release_submit(const proto::DataMsg& msg) {
+  if (msg.source.index() < sources_.size()) {
+    sources_[msg.source.index()].submit_log.release(msg.lseq);
+  }
+}
+
+const proto::DataMsg* RingNetProtocol::archive_lookup(GlobalSeq gseq) const {
+  if (gseq < archive_base_ || gseq - archive_base_ >= assigned_archive_.size())
+    return nullptr;
+  return &assigned_archive_[static_cast<std::size_t>(gseq - archive_base_)]
+              .msg;
+}
+
+sim::SimTime RingNetProtocol::archive_stored_at(GlobalSeq gseq) const {
+  if (gseq < archive_base_ || gseq - archive_base_ >= assigned_archive_.size())
+    return sim::SimTime::zero();
+  return assigned_archive_[static_cast<std::size_t>(gseq - archive_base_)]
+      .assigned_at;
 }
 
 // ---------------------------------------------------------------------------
@@ -455,7 +569,9 @@ void RingNetProtocol::queue_membership_event(NodeId mh, NodeId ap) {
   if (!br.valid() || !brs_.at(br)->alive_) return;
   const std::uint64_t seq = ++membership_seq_[mh];
   const sim::SimTime delay =
-      hop_delay(config_.hierarchy.lan, route_ap, kAckBytes);
+      hop_delay(config_.hierarchy.lan,
+                net::link_key(route_ap, topo_.desc(route_ap).parent),
+                kAckBytes);
   sim_.after(delay, [this, br, mh, ap, seq] {
     BrNode& b = *brs_.at(br);
     if (!b.alive_) return;
@@ -478,33 +594,41 @@ void RingNetProtocol::membership_flush_tick(NodeId br) {
     const NodeId next = next_alive_br(br);
     sim_.metrics().incr("membership.relayed");
     const sim::SimTime delay =
-        hop_delay(config_.hierarchy.wan, br,
+        hop_delay(config_.hierarchy.wan, net::link_key(br, next),
                   static_cast<std::uint32_t>(13 + 8 * events.size()));
-    const std::size_t hops = alive_ring_.size() - 1;
-    sim_.after(delay, [this, next, events = std::move(events), hops] {
-      membership_relay(next, hops, events);
+    // The batch carries the set of nodes it has visited instead of a hop
+    // count frozen at flush time: a ring repair or rejoin mid-relay would
+    // make a stale count under- or over-visit the ring.
+    std::vector<NodeId> visited{br};
+    sim_.after(delay, [this, next, events = std::move(events),
+                       visited = std::move(visited)] {
+      membership_relay(next, visited, events);
     });
   }
 }
 
 void RingNetProtocol::membership_relay(
-    NodeId br, std::size_t hops_left, std::vector<BrNode::MemberEvent> events) {
+    NodeId br, std::vector<NodeId> visited,
+    std::vector<BrNode::MemberEvent> events) {
   BrNode& b = *brs_.at(br);
   if (!b.alive_) return;
   for (const auto& ev : events) {
     b.view_.apply(ev.mh, ev.ap, ev.seq);
     sim_.metrics().incr("membership.applied");
   }
-  if (hops_left <= 1) return;  // the batch has visited the whole ring
+  visited.push_back(br);
   const NodeId next = next_alive_br(br);
   if (!next.valid() || next == br) return;
+  if (std::find(visited.begin(), visited.end(), next) != visited.end()) {
+    return;  // the batch has visited the whole (current) ring
+  }
   sim_.metrics().incr("membership.relayed");
   const sim::SimTime delay =
-      hop_delay(config_.hierarchy.wan, br,
+      hop_delay(config_.hierarchy.wan, net::link_key(br, next),
                 static_cast<std::uint32_t>(13 + 8 * events.size()));
-  const std::size_t hops = hops_left - 1;
-  sim_.after(delay, [this, next, events = std::move(events), hops] {
-    membership_relay(next, hops, events);
+  sim_.after(delay, [this, next, events = std::move(events),
+                     visited = std::move(visited)] {
+    membership_relay(next, visited, events);
   });
 }
 
@@ -518,15 +642,13 @@ void RingNetProtocol::heartbeat_tick(NodeId br) {
   if (!b.alive_) return;
   // A live node ejected by a false-positive timeout (heartbeats ride the
   // lossy WAN with no ARQ) notices on its next beat and merges back in.
-  if (std::find(alive_ring_.begin(), alive_ring_.end(), br) ==
-      alive_ring_.end()) {
-    rejoin_ring(br);
-  }
+  if (ring_pos_.find(br) == ring_pos_.end()) rejoin_ring(br);
   if (alive_ring_.size() < 2) return;
 
   // Emit a heartbeat to the ring successor (no ARQ: misses are the signal).
   const NodeId next = next_alive_br(br);
-  if (!loss_process(br, config_.hierarchy.wan).lost(sim_.rng())) {
+  if (!loss_process(net::link_key(br, next), config_.hierarchy.wan)
+           .lost(sim_.rng())) {
     const sim::SimTime delay =
         config_.hierarchy.wan.one_way(kHeartbeatBytes);
     sim_.after(delay, [this, next] {
@@ -538,10 +660,9 @@ void RingNetProtocol::heartbeat_tick(NodeId br) {
   }
 
   // Check our own predecessor's liveness.
-  const auto it = std::find(alive_ring_.begin(), alive_ring_.end(), br);
-  if (it == alive_ring_.end()) return;
-  const std::size_t pos =
-      static_cast<std::size_t>(std::distance(alive_ring_.begin(), it));
+  const auto it = ring_pos_.find(br);
+  if (it == ring_pos_.end()) return;
+  const std::size_t pos = it->second;
   const NodeId prev = alive_ring_[(pos + alive_ring_.size() - 1) %
                                   alive_ring_.size()];
   if (prev == br) return;
@@ -553,9 +674,11 @@ void RingNetProtocol::heartbeat_tick(NodeId br) {
 }
 
 void RingNetProtocol::handle_br_failure(NodeId dead) {
-  const auto it = std::find(alive_ring_.begin(), alive_ring_.end(), dead);
-  if (it == alive_ring_.end()) return;
-  alive_ring_.erase(it);
+  const auto it = ring_pos_.find(dead);
+  if (it == ring_pos_.end()) return;
+  alive_ring_.erase(alive_ring_.begin() +
+                    static_cast<std::ptrdiff_t>(it->second));
+  rebuild_ring_index();
   sim_.metrics().incr("ring.repairs");
   sim_.trace().record(sim::TraceKind::RingRepair, sim_.now(), dead,
                       alive_ring_.size());
@@ -582,12 +705,12 @@ void RingNetProtocol::rejoin_ring(NodeId br) {
   std::vector<NodeId> merged;
   merged.reserve(alive_ring_.size() + 1);
   for (NodeId id : topo_.top_ring) {
-    if (id == br || std::find(alive_ring_.begin(), alive_ring_.end(), id) !=
-                        alive_ring_.end()) {
+    if (id == br || ring_pos_.find(id) != ring_pos_.end()) {
       merged.push_back(id);
     }
   }
   alive_ring_ = std::move(merged);
+  rebuild_ring_index();
   for (NodeId id : alive_ring_) {
     brs_.at(id)->last_hb_from_prev_ = sim_.now();
   }
@@ -625,11 +748,28 @@ void RingNetProtocol::crash_node(NodeId id) {
   sim_.trace().record(sim::TraceKind::NodeCrash, sim_.now(), id);
   const auto br = brs_.find(id);
   if (br != brs_.end()) {
-    br->second->alive_ = false;
+    BrNode& b = *br->second;
+    b.alive_ = false;
+    // Messages staged here died unassigned: release their submit-log
+    // entries so the pruned-prefix frontier keeps advancing.
+    for (const auto& m : b.staging_) release_submit(m);
+    b.staging_.clear();
+    for (const auto& m : b.wq_.pending()) release_submit(m);
+    b.wq_.clear();
+    advance_global_floor();  // a dead BR no longer holds the watermark
     return;
   }
   const auto mh = mh_by_id_.find(id);
-  if (mh != mh_by_id_.end()) mh->second->attached_ = false;
+  if (mh != mh_by_id_.end() && mh->second->attached_) {
+    mh->second->attached_ = false;
+    const auto occ = ap_occupancy_.find(mh->second->ap_);
+    if (occ != ap_occupancy_.end() && occ->second > 0) --occ->second;
+  }
+}
+
+void RingNetProtocol::eject_br(NodeId br) {
+  if (brs_.find(br) == brs_.end() || !brs_.at(br)->alive_) return;
+  handle_br_failure(br);
 }
 
 void RingNetProtocol::inject_duplicate_token(NodeId at, std::uint64_t epoch) {
@@ -655,12 +795,32 @@ void RingNetProtocol::perform_handoff(NodeId mh) {
     schedule_next_handoff(mh);
     return;
   }
+  // Pick the target cell.
+  NodeId target = m.ap_;
+  while (target == m.ap_) {
+    target = topo_.aps[sim_.rng().bounded(topo_.aps.size())];
+  }
+  // The Poisson process continues once the attach completes.
+  const sim::SimTime delay = begin_handoff(mh, target);
+  sim_.after(delay, [this, mh] { schedule_next_handoff(mh); });
+}
+
+void RingNetProtocol::force_handoff(NodeId mh, NodeId target_ap) {
+  MhNode& m = *mh_by_id_.at(mh);
+  if (!m.attached_) return;
+  begin_handoff(mh, target_ap);
+}
+
+sim::SimTime RingNetProtocol::begin_handoff(NodeId mh, NodeId target_ap) {
+  MhNode& m = *mh_by_id_.at(mh);
 
   // Detach from the serving cell.
   const NodeId old_ap = m.ap_;
   const NodeId old_br = topo_.br_of(old_ap);
   queue_membership_event(mh, NodeId::invalid());
   m.attached_ = false;
+  auto occ = ap_occupancy_.find(old_ap);
+  if (occ != ap_occupancy_.end() && occ->second > 0) --occ->second;
   if (old_br.valid()) {
     auto& members = br_members_.at(old_br);
     members.erase(std::remove(members.begin(), members.end(), mh),
@@ -670,28 +830,22 @@ void RingNetProtocol::perform_handoff(NodeId mh) {
     if (b.alive_) mark_acked(b);
   }
 
-  // Pick the target cell.
-  NodeId target = old_ap;
-  while (target == old_ap) {
-    target = topo_.aps[sim_.rng().bounded(topo_.aps.size())];
-  }
-  const bool hot = ap_is_hot(target, mh);
+  const bool hot = ap_is_hot(target_ap, mh);
   sim_.metrics().incr("handoff.count");
   sim_.metrics().incr(hot ? "handoff.hot" : "handoff.cold");
   sim_.trace().record(sim::TraceKind::Handoff, sim_.now(), mh, hot ? 1 : 0);
 
   sim::SimTime delay = config_.mobility.detach_gap;
   if (!hot) delay += config_.options.path_build;
-  sim_.after(delay, [this, mh, target] {
-    complete_attach(mh, target);
-    schedule_next_handoff(mh);
-  });
+  sim_.after(delay, [this, mh, target_ap] { complete_attach(mh, target_ap); });
+  return delay;
 }
 
 void RingNetProtocol::complete_attach(NodeId mh, NodeId ap) {
   MhNode& m = *mh_by_id_.at(mh);
   m.ap_ = ap;
   m.attached_ = true;
+  ++ap_occupancy_[ap];
   const NodeId br = topo_.br_of(ap);
   if (br.valid()) {
     br_members_.at(br).push_back(mh);
@@ -717,19 +871,24 @@ void RingNetProtocol::complete_attach(NodeId mh, NodeId ap) {
 }
 
 bool RingNetProtocol::ap_is_hot(NodeId ap, NodeId exclude_mh) const {
+  // Maintained per-cell occupancy counts make this O(1) per candidate cell
+  // (it runs on every handoff) instead of a scan over the MH population.
   auto cell_has_member = [&](NodeId cell) {
-    for (const auto& m : mh_list_) {
-      if (m->id_ != exclude_mh && m->attached_ && m->ap_ == cell) return true;
+    const auto it = ap_occupancy_.find(cell);
+    std::size_t n = it == ap_occupancy_.end() ? 0 : it->second;
+    const auto ex = mh_by_id_.find(exclude_mh);
+    if (n > 0 && ex != mh_by_id_.end() && ex->second->attached_ &&
+        ex->second->ap_ == cell) {
+      --n;
     }
-    return false;
+    return n > 0;
   };
   if (cell_has_member(ap)) return true;
   if (!config_.options.smooth_handoff) return false;
   // §3 reserved paths: neighbors of any occupied cell hold a reservation.
-  const auto it = std::find(topo_.aps.begin(), topo_.aps.end(), ap);
-  if (it == topo_.aps.end()) return false;
-  const std::size_t pos =
-      static_cast<std::size_t>(std::distance(topo_.aps.begin(), it));
+  const auto it = ap_pos_.find(ap);
+  if (it == ap_pos_.end()) return false;
+  const std::size_t pos = it->second;
   const std::size_t n = topo_.aps.size();
   return cell_has_member(topo_.aps[(pos + 1) % n]) ||
          cell_has_member(topo_.aps[(pos + n - 1) % n]);
@@ -740,24 +899,17 @@ bool RingNetProtocol::ap_is_hot(NodeId ap, NodeId exclude_mh) const {
 
 NodeId RingNetProtocol::next_alive_br(NodeId from) const {
   if (alive_ring_.empty()) return NodeId::invalid();
-  const auto it = std::find(alive_ring_.begin(), alive_ring_.end(), from);
-  if (it != alive_ring_.end()) {
-    const std::size_t pos =
-        static_cast<std::size_t>(std::distance(alive_ring_.begin(), it));
-    return alive_ring_[(pos + 1) % alive_ring_.size()];
+  const auto it = ring_pos_.find(from);
+  if (it != ring_pos_.end()) {
+    return alive_ring_[(it->second + 1) % alive_ring_.size()];
   }
   // `from` was removed: walk the original ring order to the next survivor.
-  const auto orig =
-      std::find(topo_.top_ring.begin(), topo_.top_ring.end(), from);
-  if (orig == topo_.top_ring.end()) return alive_ring_.front();
-  const std::size_t start =
-      static_cast<std::size_t>(std::distance(topo_.top_ring.begin(), orig));
+  const auto orig = top_ring_pos_.find(from);
+  if (orig == top_ring_pos_.end()) return alive_ring_.front();
+  const std::size_t start = orig->second;
   for (std::size_t k = 1; k <= topo_.top_ring.size(); ++k) {
     const NodeId cand = topo_.top_ring[(start + k) % topo_.top_ring.size()];
-    if (std::find(alive_ring_.begin(), alive_ring_.end(), cand) !=
-        alive_ring_.end()) {
-      return cand;
-    }
+    if (ring_pos_.find(cand) != ring_pos_.end()) return cand;
   }
   return alive_ring_.front();
 }
@@ -766,17 +918,24 @@ NodeId RingNetProtocol::leader_br() const {
   return alive_ring_.empty() ? NodeId::invalid() : alive_ring_.front();
 }
 
+void RingNetProtocol::rebuild_ring_index() {
+  ring_pos_.clear();
+  for (std::size_t i = 0; i < alive_ring_.size(); ++i) {
+    ring_pos_.emplace(alive_ring_[i], i);
+  }
+}
+
 net::LossProcess& RingNetProtocol::loss_process(
-    NodeId link_key, const net::ChannelModel& model) {
-  const auto it = loss_.find(link_key);
+    net::LinkKey link, const net::ChannelModel& model) {
+  const auto it = loss_.find(link);
   if (it != loss_.end()) return it->second;
-  return loss_.emplace(link_key, net::LossProcess(model)).first->second;
+  return loss_.emplace(link, net::LossProcess(model)).first->second;
 }
 
 sim::SimTime RingNetProtocol::hop_delay(const net::ChannelModel& model,
-                                        NodeId link_key,
+                                        net::LinkKey link,
                                         std::uint32_t bytes) {
-  net::LossProcess& lp = loss_process(link_key, model);
+  net::LossProcess& lp = loss_process(link, model);
   sim::SimTime d = model.one_way(bytes);
   const int budget = std::max(1, config_.options.max_retx);
   for (int attempt = 1; attempt < budget && lp.lost(sim_.rng()); ++attempt) {
@@ -790,9 +949,10 @@ sim::SimTime RingNetProtocol::uplink_delay(NodeId mh, std::uint32_t bytes) {
   const MhNode& m = *mh_by_id_.at(mh);
   const NodeId ap = m.ap_;
   const NodeId ag = topo_.desc(ap).parent;
-  return hop_delay(config_.hierarchy.wireless, mh, bytes) +
-         hop_delay(config_.hierarchy.lan, ap, bytes) +
-         hop_delay(config_.hierarchy.lan, ag, bytes);
+  return hop_delay(config_.hierarchy.wireless, net::link_key(mh, ap), bytes) +
+         hop_delay(config_.hierarchy.lan, net::link_key(ap, ag), bytes) +
+         hop_delay(config_.hierarchy.lan,
+                   net::link_key(ag, topo_.desc(ag).parent), bytes);
 }
 
 sim::SimTime RingNetProtocol::downlink_delay(NodeId mh, std::uint32_t bytes) {

@@ -1,0 +1,106 @@
+// Satellite regression: the Gilbert-Elliott loss process used to be keyed
+// by origin node only, so one bursty WAN link correlated loss and ARQ
+// delay across every destination a BR multicast to. Processes are now
+// keyed per (src, dst) link: delay bursts toward one destination must be
+// statistically independent of bursts toward another.
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "ringnet_test.hpp"
+#include "sim/simulation.hpp"
+
+using namespace ringnet;
+
+TEST(wan_burst_delay_is_independent_per_destination_link) {
+  sim::Simulation sim(17);
+  sim.trace().enable();
+  core::ProtocolConfig cfg;
+  cfg.hierarchy.num_brs = 3;  // BR0 (origin + local MH0), BR1/MH1, BR2/MH2
+  cfg.hierarchy.ags_per_br = 1;
+  cfg.hierarchy.aps_per_ag = 1;
+  cfg.hierarchy.mhs_per_ap = 1;
+  cfg.hierarchy.wan = net::ChannelModel::wired_wan(0.3);
+  cfg.hierarchy.wan.burst_loss = true;
+  cfg.hierarchy.wan.burst_mean_len = 6.0;
+  auto wireless = net::ChannelModel::wireless(0.0);
+  wireless.burst_loss = false;
+  cfg.hierarchy.wireless = wireless;
+  cfg.num_sources = 1;  // lives on MH0, so every batch originates at BR0
+  cfg.source.rate_hz = 800.0;
+  // Short ARQ turnaround keeps token rotations fast (many batches = tight
+  // statistics); a huge miss budget rules out false ejections so the only
+  // stochastic process left on the WAN is the loss chain under test.
+  cfg.options.retx_timeout = sim::msecs(5);
+  cfg.options.heartbeat_miss_limit = 1000;
+  cfg.record_deliveries = false;
+  core::RingNetProtocol proto(sim, cfg);
+  proto.start();
+  sim.run_for(sim::secs(10.0));
+  proto.stop_sources();
+  sim.run_for(sim::secs(1.0));
+
+  // Per-MH delivery time of each gseq. MH0 hangs off the origin BR, so
+  // deliveries there carry the assignment timestamp; one distribution
+  // frame per destination makes every message of a batch share it.
+  std::unordered_map<NodeId, std::unordered_map<std::uint64_t, sim::SimTime>>
+      at;
+  for (const auto& ev : sim.trace().filter(sim::TraceKind::Deliver)) {
+    at[ev.node].emplace(ev.a, ev.at);
+  }
+  const NodeId mh0 = proto.topology().mhs[0];
+  const NodeId mh1 = proto.topology().mhs[1];
+  const NodeId mh2 = proto.topology().mhs[2];
+
+  std::map<std::int64_t, std::vector<std::uint64_t>> batches;
+  for (const auto& [gseq, t] : at[mh0]) batches[t.us].push_back(gseq);
+
+  // Per batch and destination link: earliest delivery minus assignment
+  // time minus the batch's serialization share = WAN residual (ARQ work).
+  std::vector<std::int64_t> d1, d2;
+  for (const auto& [t0, gs] : batches) {
+    std::int64_t m1 = -1, m2 = -1;
+    bool complete = true;
+    for (const std::uint64_t g : gs) {
+      const auto i1 = at[mh1].find(g);
+      const auto i2 = at[mh2].find(g);
+      if (i1 == at[mh1].end() || i2 == at[mh2].end()) {
+        complete = false;
+        break;
+      }
+      if (m1 < 0 || i1->second.us < m1) m1 = i1->second.us;
+      if (m2 < 0 || i2->second.us < m2) m2 = i2->second.us;
+    }
+    if (!complete) continue;
+    // 297-byte messages over the 100 Mb/s WAN: 23.76 us each.
+    const std::int64_t tx = static_cast<std::int64_t>(gs.size()) * 2376 / 100;
+    d1.push_back(m1 - t0 - tx);
+    d2.push_back(m2 - t0 - tx);
+  }
+  CHECK(d1.size() > 150);
+
+  // A batch is "burst-delayed" on a link once its residual sits half an
+  // ARQ timeout above that link's floor.
+  const std::int64_t floor1 = *std::min_element(d1.begin(), d1.end());
+  const std::int64_t floor2 = *std::min_element(d2.begin(), d2.end());
+  const std::int64_t thresh = cfg.options.retx_timeout.us / 2;
+  double n1 = 0, n2 = 0, n12 = 0;
+  const double n = static_cast<double>(d1.size());
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    const bool b1 = d1[i] - floor1 > thresh;
+    const bool b2 = d2[i] - floor2 > thresh;
+    n1 += b1 ? 1 : 0;
+    n2 += b2 ? 1 : 0;
+    n12 += (b1 && b2) ? 1 : 0;
+  }
+  CHECK(n1 > 20);
+  CHECK(n2 > 20);
+  // Joint lift n12*n/(n1*n2) is ~1.0-1.25 for independent per-link chains;
+  // the shared origin-keyed process measured 2.1-3.2 across seeds.
+  CHECK(n12 * n < 1.7 * n1 * n2);
+}
+
+TEST_MAIN()
