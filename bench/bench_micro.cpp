@@ -8,6 +8,7 @@
 #include "core/working_queue.hpp"
 #include "proto/messages.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
 #include "stats/histogram.hpp"
 #include "util/rng.hpp"
 
@@ -140,6 +141,43 @@ void BM_SchedulerThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerThroughput);
+
+void BM_MetricsIncrStringKey(benchmark::State& state) {
+  // The pre-interning hot path: every incr pays a string hash + lookup.
+  sim::Metrics m;
+  for (auto _ : state) {
+    m.incr("arq.retransmits");
+  }
+  benchmark::DoNotOptimize(m.counter("arq.retransmits"));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsIncrStringKey);
+
+void BM_MetricsIncrInterned(benchmark::State& state) {
+  // The protocol's hot path: handles interned once, incr is a vector index.
+  sim::Metrics m;
+  const auto id = m.intern("arq.retransmits");
+  for (auto _ : state) {
+    m.incr(id);
+  }
+  benchmark::DoNotOptimize(m.counter(id));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsIncrInterned);
+
+void BM_TraceRecordCapped(benchmark::State& state) {
+  // Ring-capped tracing: steady-state cost of record + keep-latest trim.
+  sim::Trace trace;
+  trace.enable();
+  trace.set_capacity(static_cast<std::size_t>(state.range(0)));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    trace.record(sim::TraceKind::Deliver, sim::SimTime{t++}, NodeId{1}, 7);
+  }
+  benchmark::DoNotOptimize(trace.events().size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordCapped)->Arg(1024)->Arg(65536);
 
 void BM_HistogramRecord(benchmark::State& state) {
   stats::Histogram h;

@@ -1,0 +1,124 @@
+// E12: the scenario catalogue sweep. Every canned workload — mobility
+// models over the cell grid, churn processes, bursty/skewed/diurnal
+// traffic, and scripted fault timelines — runs against the ordered
+// protocol and the Remark 3 unordered variant, tabulating delivery,
+// latency percentiles, gap-skips, mobility/churn volume and recovery
+// machinery. Exits non-zero if any run reports an order violation, so CI
+// can use it directly as the scenario smoke gate. Runs are deterministic:
+// the same --seed reproduces the tables bit-for-bit.
+
+#include <iostream>
+#include <iterator>
+
+#include "bench_util.hpp"
+
+using namespace ringnet;
+
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_cli(argc, argv);
+  bench::print_header(
+      "E12 / scenario catalogue — declarative mobility, churn, traffic, "
+      "faults",
+      "total order survives every workload the engine can express; loss is "
+      "confined to gap-skipped ranges, dark cells and dead domains");
+
+  const struct {
+    baseline::Variant v;
+    const char* name;
+  } variants[] = {
+      {baseline::Variant::RingNet, "ringnet"},
+      {baseline::Variant::RingNetUnordered, "unordered"},
+  };
+
+  // Resolve the scenario set up front: the verbatim parsed spec for an
+  // ad-hoc --scenario (no describe/re-parse round-trip), the canonical
+  // text for catalogue entries.
+  std::vector<std::pair<std::string, scenario::ScenarioSpec>> entries;
+  const auto resolve = [](const std::string& text)
+      -> std::optional<scenario::ScenarioSpec> {
+    std::string error;
+    auto parsed = scenario::find_scenario(text, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "bad scenario '%s': %s (try --list)\n",
+                   text.c_str(), error.c_str());
+    }
+    return parsed;
+  };
+  if (opts.scenario) {
+    const auto parsed = resolve(*opts.scenario);
+    if (!parsed) return 2;
+    entries.emplace_back(parsed->name, *parsed);
+  } else {
+    for (const auto& c : scenario::catalogue()) {
+      const auto parsed = resolve(c.text);
+      if (!parsed) return 2;  // a canned entry must always parse
+      entries.emplace_back(c.name, *parsed);
+    }
+  }
+
+  // The sweep assigns each resolved spec itself; keep apply_cli to the
+  // seed/duration overrides so --scenario is not re-resolved per spec.
+  bench::Options run_opts = opts;
+  run_opts.scenario.reset();
+
+  std::vector<baseline::RunSpec> specs;
+  for (const auto& [name, sc] : entries) {
+    for (const auto& var : variants) {
+      baseline::RunSpec spec;
+      spec.config.hierarchy.num_brs = 3;
+      spec.config.hierarchy.ags_per_br = 1;
+      spec.config.hierarchy.aps_per_ag = 4;
+      spec.config.hierarchy.mhs_per_ap = 1;
+      spec.config.num_sources = 2;
+      spec.variant = var.v;
+      spec.seed = 7;
+      bench::apply_cli(run_opts, spec);
+      spec.scenario = sc;
+      specs.push_back(spec);
+    }
+  }
+  const auto results = bench::run_all(specs);
+
+  stats::Table table(
+      "scenario x variant (12 cells / 3 BR domains, 2 sources; lat in ms)",
+      {"scenario", "variant", "delivery", "p50", "p99", "gaps", "lost",
+       "handoffs", "leaves", "blk drop", "upl lost", "retx", "regen",
+       "order ok"});
+  int violations = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& r = results[i];
+    const auto& name = entries[i / std::size(variants)].first;
+    if (r.order_violation) {
+      ++violations;
+      std::fprintf(stderr, "ORDER VIOLATION in '%s': %s\n", name.c_str(),
+                   r.order_violation->c_str());
+    }
+    table.row()
+        .cell(name)
+        .cell(variants[i % std::size(variants)].name)
+        .cell(r.min_delivery_ratio, 3)
+        .cell(static_cast<double>(r.lat_p50_us) / 1e3, 2)
+        .cell(static_cast<double>(r.lat_p99_us) / 1e3, 2)
+        .cell(r.mh_gaps_skipped)
+        .cell(r.really_lost)
+        .cell(r.handoffs)
+        .cell(r.churn_leaves)
+        .cell(r.blackout_drops)
+        .cell(r.uplink_lost)
+        .cell(r.retransmits)
+        .cell(r.token_regenerations)
+        .cell(r.order_violation.has_value() ? "NO" : "yes");
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: 'order ok' everywhere (the engine can delay and\n"
+      "drop, never reorder). Mobility scenarios show handoffs, churn\n"
+      "scenarios show leaves (long-absence converts them into gap-skips\n"
+      "counted as lost, not a wedge), dark-cells shows blackout drops\n"
+      "(downlink: repaired by post-window resync) alongside unrecoverable\n"
+      "uplink losses (no end-to-end source ARQ — these cap its delivery\n"
+      "ratio), and the fault scenarios show token regenerations. The\n"
+      "unordered variant trades the ordering pass for lower latency but\n"
+      "loses the resync machinery under churn.\n");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,17 +1,21 @@
 #pragma once
 // Shared helpers for the experiment benches: parallel sweep execution (one
-// deterministic Simulation per sweep point, fanned across a thread pool)
-// and table headers. Analytic bounds live in the library proper
-// (core/analysis.hpp) so applications can size deployments with the same
-// model the benches validate.
+// deterministic Simulation per sweep point, fanned across a thread pool),
+// table headers, and common CLI parsing (seed / duration / scenario
+// overrides) so benches stop duplicating argv handling. Analytic bounds
+// live in the library proper (core/analysis.hpp) so applications can size
+// deployments with the same model the benches validate.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "baseline/harness.hpp"
 #include "core/analysis.hpp"
+#include "scenario/catalogue.hpp"
 #include "stats/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,6 +34,94 @@ inline void print_header(const std::string& title, const std::string& claim) {
   std::printf("# %s\n", title.c_str());
   std::printf("# Paper claim: %s\n", claim.c_str());
   std::printf("################################################################\n\n");
+}
+
+/// Common bench CLI:
+///   --seed N       override every sweep point's seed
+///   --run SECONDS  override the measured-run duration
+///   --scenario S   canned scenario name or ad-hoc parse_scenario() text
+///   --smoke        short-run preset (run 1.6s — the smallest window that
+///                  still covers every canned fault time with live sources)
+///   --list         print the canned scenario catalogue and exit
+struct Options {
+  std::optional<std::uint64_t> seed;
+  std::optional<double> run_secs;
+  std::optional<std::string> scenario;
+  bool smoke = false;
+};
+
+[[noreturn]] inline void usage_and_exit(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--run SECONDS] [--scenario NAME|TEXT] "
+               "[--smoke] [--list]\n",
+               prog);
+  std::exit(2);
+}
+
+inline Options parse_cli(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      const std::string v = value();
+      char* end = nullptr;
+      opts.seed = std::strtoull(v.c_str(), &end, 10);
+      // strtoull silently wraps negatives: reject them like any other typo.
+      if (v.empty() || v[0] == '-' || end == v.c_str() || *end != '\0') {
+        usage_and_exit(argv[0]);
+      }
+    } else if (arg == "--run") {
+      const std::string v = value();
+      char* end = nullptr;
+      opts.run_secs = std::strtod(v.c_str(), &end);
+      if (end == v.c_str() || *end != '\0' || *opts.run_secs <= 0.0) {
+        usage_and_exit(argv[0]);
+      }
+    } else if (arg == "--scenario") {
+      opts.scenario = value();
+    } else if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--list") {
+      for (const auto& c : scenario::catalogue()) {
+        std::printf("%-14s %s\n    %s\n", c.name.c_str(), c.summary.c_str(),
+                    c.text.c_str());
+      }
+      std::exit(0);
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  return opts;
+}
+
+/// Apply the shared overrides to one sweep point. The scenario override
+/// resolves through the catalogue (exiting with a message on an unknown
+/// name) so every bench accepts the same `--scenario` vocabulary.
+inline void apply_cli(const Options& opts, baseline::RunSpec& spec) {
+  if (opts.seed) spec.seed = *opts.seed;
+  if (opts.smoke) {
+    // The measured window must still cover every canned fault/churn event
+    // time (latest: token-storm's second loss at 1.5s) with live sources,
+    // or the smoke gate would pass vacuously on the fault scenarios.
+    spec.warmup = sim::secs(0.2);
+    spec.run = sim::secs(1.6);
+    spec.drain = sim::secs(0.75);
+  }
+  if (opts.run_secs) spec.run = sim::secs(*opts.run_secs);
+  if (opts.scenario) {
+    std::string error;
+    auto parsed = scenario::find_scenario(*opts.scenario, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "bad scenario '%s': %s (try --list)\n",
+                   opts.scenario->c_str(), error.c_str());
+      std::exit(2);
+    }
+    spec.scenario = std::move(*parsed);
+  }
 }
 
 }  // namespace ringnet::bench

@@ -11,6 +11,7 @@
 
 #include "core/config.hpp"
 #include "core/protocol.hpp"
+#include "scenario/spec.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -33,6 +34,10 @@ struct RunSpec {
   sim::SimTime run = sim::secs(2.0);
   sim::SimTime drain = sim::secs(1.0);
   std::uint64_t seed = 1;
+  // Declarative workload: when set, a scenario::Engine drives mobility,
+  // churn and faults over the run, and the scenario's traffic section (if
+  // any) overrides config.source (see effective_config).
+  std::optional<scenario::ScenarioSpec> scenario;
 };
 
 struct RunResult {
@@ -65,6 +70,12 @@ struct RunResult {
   std::uint64_t handoffs = 0;
   std::uint64_t hot_attaches = 0;
   std::uint64_t cold_attaches = 0;
+  // Scenario dynamics
+  std::uint64_t churn_leaves = 0;
+  std::uint64_t churn_rejoins = 0;
+  std::uint64_t blackout_drops = 0;   // recoverable (downlink / in-flight)
+  std::uint64_t uplink_lost = 0;      // unrecoverable: dropped pre-ordering
+  std::uint64_t tokens_dropped = 0;
   // Correctness
   std::optional<std::string> order_violation;
 };

@@ -14,9 +14,25 @@
 
 namespace ringnet::core {
 
+/// Inter-submit time law for the traffic generator driving each source.
+enum class TrafficPattern : std::uint8_t {
+  Constant,  // fixed period 1/rate (the paper's s*lambda workload)
+  Poisson,   // exponential inter-submit times at rate
+  Mmpp,      // Markov-modulated on/off Poisson: burst_rate in ON, rate in OFF
+  Diurnal,   // Poisson with a sinusoidal rate ramp over diurnal_period
+};
+
 struct SourceConfig {
-  double rate_hz = 100.0;            // per-source submit rate
+  double rate_hz = 100.0;            // per-source submit rate (base/OFF rate)
   std::uint32_t payload_size = 256;  // bytes per multicast payload
+  TrafficPattern pattern = TrafficPattern::Constant;
+  double burst_rate_hz = 0.0;  // MMPP ON-state rate; 0 = 10x rate_hz
+  sim::SimTime on_mean = sim::msecs(100);   // MMPP mean ON dwell
+  sim::SimTime off_mean = sim::msecs(400);  // MMPP mean OFF dwell
+  sim::SimTime diurnal_period = sim::secs(2.0);  // one full rate cycle
+  // Per-sender rate skew: source i carries weight (i+1)^-skew, normalized
+  // to mean 1 so the aggregate rate stays s*lambda. 0 = uniform senders.
+  double sender_skew = 0.0;
 };
 
 struct MobilityConfig {
@@ -44,6 +60,11 @@ struct ProtocolOptions {
   // ordering-node memory at O(window) instead of O(total messages sent)
   // (Theorem 5.1's bounded-buffer claim, enforced by test_soak_memory).
   std::size_t archive_retention = 1024;
+  // Submissions parked while the host MH is detached are bounded: beyond
+  // this many, the oldest parked message is dropped and its submit-log
+  // entry released, so a permanently-departed member (churn with no
+  // rejoin) cannot grow O(total submissions) state.
+  std::size_t source_park_cap = 1024;
   // §3 smooth handoff: keep reserved distribution paths on neighbor APs.
   bool smooth_handoff = true;
   // Cold-attach penalty: time to graft a new distribution path.

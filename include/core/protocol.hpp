@@ -145,6 +145,7 @@ class MhNode {
   NodeId id_;
   NodeId ap_;
   bool attached_ = true;
+  bool attach_pending_ = false;  // a complete_attach event is in flight
   MessageQueue mq_{4};  // reorder buffer; tiny retention for dedupe
   std::unordered_set<std::uint64_t> seen_unordered_;
   std::uint64_t delivered_ = 0;
@@ -219,6 +220,34 @@ class RingNetProtocol {
   /// its next heartbeat).
   void eject_br(NodeId br);
 
+  /// Scenario hook: `mh` leaves its cell (member churn / power-off). The
+  /// membership machinery detaches it; sources on the MH park submissions
+  /// until a reattach.
+  void detach_mh(NodeId mh);
+
+  /// Scenario hook: reattach a churned-out `mh` at `ap` after the usual
+  /// hot/cold attach cost. No-op while attached or mid-attach. An absence
+  /// longer than the MQ retention window resumes via a gap skip (the
+  /// missed range counts as really lost), never a wedge.
+  void reattach_mh(NodeId mh, NodeId ap);
+
+  /// Scenario hook: the active token frame vanishes in transit (WAN loss).
+  /// The ring detects custody loss after the heartbeat miss budget and the
+  /// leader runs Token-Regeneration with a fresh epoch (§4 Token-Loss).
+  void lose_token();
+
+  /// Scenario hook: blackout the wireless cell of `ap` (jamming, backhaul
+  /// cut). While set, nothing crosses the AP<->MH radio in either
+  /// direction: downlink frames, DeliveryAcks and uplink submissions are
+  /// dropped. The gate sits where the wireless hop sits in each path —
+  /// uplink at submit time, downlink at arrival — so a frame that cleared
+  /// the radio before the window began still travels the wired tree.
+  /// Members recover through ack-driven resync once the window lifts.
+  void set_cell_blackout(NodeId ap, bool on);
+  bool cell_blacked_out(NodeId ap) const {
+    return !cell_blackout_.empty() && cell_blackout_.count(ap) != 0;
+  }
+
   const topo::Topology& topology() const { return topo_; }
   const ProtocolConfig& config() const { return config_; }
   BrNode& node(NodeId id) { return *brs_.at(id); }
@@ -249,11 +278,19 @@ class RingNetProtocol {
     LocalSeq next_lseq = 0;
     std::deque<proto::DataMsg> parked;  // submitted while detached
     SubmitLog submit_log;  // lseq -> submit time, watermark-pruned
+    double weight = 1.0;  // sender_skew rate multiplier (mean 1)
+    // MMPP modulating-chain state. Pre-toggled ON with an expired dwell:
+    // the first chain advance flips each source into OFF with its own
+    // exponential dwell, so runs open idle and burst onsets desynchronize
+    // instead of every sender bursting simultaneously at t=0.
+    bool mmpp_on = true;
+    sim::SimTime mmpp_until = sim::SimTime::zero();  // state dwell deadline
   };
 
   // --- wiring -------------------------------------------------------------
   void start_sources();
   void source_tick(std::size_t idx);
+  sim::SimTime next_submit_interval(SourceState& src);
   void submit(SourceState& src, proto::DataMsg msg);
   void uplink_to_br(const proto::DataMsg& msg, NodeId mh);
 
@@ -286,6 +323,8 @@ class RingNetProtocol {
   void schedule_next_handoff(NodeId mh);
   void perform_handoff(NodeId mh);
   sim::SimTime begin_handoff(NodeId mh, NodeId target_ap);
+  sim::SimTime schedule_attach(MhNode& m, NodeId ap, bool hot);
+  void detach_from_cell(MhNode& m);
   void complete_attach(NodeId mh, NodeId ap);
   bool ap_is_hot(NodeId ap, NodeId exclude_mh) const;
 
@@ -315,6 +354,20 @@ class RingNetProtocol {
   ProtocolConfig config_;
   topo::Topology topo_;
 
+  // Pre-interned handles for every metric touched on a per-message or
+  // per-tick path: incr/gauge_max through these is a vector index, not a
+  // string lookup (see BM_MetricsIncr* in bench_micro for the delta).
+  struct MetricIds {
+    sim::Metrics::MetricId mh_delivered, acks_sent, retransmits, token_held,
+        token_dup_destroyed, token_regenerated, token_dropped, wq_dropped,
+        gaps_skipped, gap_skipped_msgs, membership_applied, membership_relayed,
+        ring_repairs, ring_rejoins, handoff_count, handoff_hot, handoff_cold,
+        archive_pruned, churn_leaves, churn_rejoins, blackout_dropped,
+        blackout_uplink_lost, park_dropped, buf_wq_peak, buf_mq_peak,
+        buf_archive_peak, buf_submitlog_peak;
+  };
+  MetricIds mid_;
+
   std::unordered_map<NodeId, std::unique_ptr<BrNode>> brs_;
   std::vector<std::unique_ptr<MhNode>> mh_list_;
   std::unordered_map<NodeId, MhNode*> mh_by_id_;
@@ -336,6 +389,9 @@ class RingNetProtocol {
 
   std::unordered_map<net::LinkKey, net::LossProcess> loss_;
   std::unordered_map<NodeId, std::uint64_t> membership_seq_;
+  std::unordered_set<NodeId> cell_blackout_;  // APs with a dark cell
+  std::unordered_set<std::uint64_t> lost_serials_;  // token frames lost in
+                                                    // transit (lose_token)
   // Every assigned message not yet pruned (+ assignment time) — the
   // stand-in for fetching a missing copy from a peer ordering node's MQ
   // when a BR has a hole (e.g. it was wrongly ejected from the ring).

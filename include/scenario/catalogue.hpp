@@ -1,0 +1,30 @@
+#pragma once
+// The canned scenario catalogue: named, seeded, replayable workloads that
+// every scenario-aware bench and the CI smoke job share. Each entry's
+// canonical definition is its parse_scenario() text form, so the catalogue
+// doubles as parser coverage and as copy-pasteable CLI input.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace ringnet::scenario {
+
+struct CannedScenario {
+  std::string name;
+  std::string summary;  // one line for catalogue listings
+  std::string text;     // parse_scenario() form (the canonical definition)
+};
+
+/// The canned catalogue, in presentation order.
+const std::vector<CannedScenario>& catalogue();
+
+/// Resolve `name` against the catalogue (exact match), falling back to
+/// parsing it as an ad-hoc scenario text. nullopt when neither resolves,
+/// with the parser's diagnostic (or a name hint) in `error`.
+std::optional<ScenarioSpec> find_scenario(const std::string& name,
+                                          std::string* error = nullptr);
+
+}  // namespace ringnet::scenario

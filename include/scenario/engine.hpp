@@ -1,0 +1,67 @@
+#pragma once
+// Engine: compiles a ScenarioSpec into scheduled simulation events against
+// a running RingNetProtocol. All stochastic choices draw from a dedicated
+// RNG stream derived from the simulation seed, so a (seed, spec, config)
+// triple replays bit-identically and scenario draws never perturb the
+// protocol's own random sequence. arm() schedules the recurring processes
+// (mobility, churn) and the one-shot fault timeline relative to the current
+// sim time; stop() halts the recurring processes and any not-yet-fired
+// faults for the drain phase while letting already-scheduled rejoins and
+// blackout-ends complete, so the run always drains toward a reattached,
+// undisturbed population.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "scenario/spec.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace ringnet::scenario {
+
+class Engine {
+ public:
+  Engine(ScenarioSpec spec, core::RingNetProtocol& proto,
+         sim::Simulation& sim);
+
+  void arm();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  // --- mobility ----------------------------------------------------------
+  void schedule_waypoint_step(std::size_t mh);
+  void waypoint_step(std::size_t mh);
+  void commuter_trip(std::size_t mh);
+  void hotspot_flash();
+  std::size_t step_toward(std::size_t from, std::size_t to) const;
+
+  // --- churn -------------------------------------------------------------
+  void schedule_leave(std::size_t mh);
+  void leave(std::size_t mh);
+  void mass_leave();
+
+  // --- faults ------------------------------------------------------------
+  void schedule_fault(const FaultEvent& ev);
+
+  std::size_t ap_index(NodeId ap) const;
+  NodeId mh_id(std::size_t mh) const;
+  NodeId random_ap() { return aps_[rng_.bounded(aps_.size())]; }
+
+  ScenarioSpec spec_;
+  core::RingNetProtocol& proto_;
+  sim::Simulation& sim_;
+  util::Rng rng_;
+  bool running_ = false;
+
+  std::vector<NodeId> aps_;           // cell grid, topology order
+  std::size_t grid_w_ = 1;            // AP grid width: ceil(sqrt(|APs|))
+  std::vector<std::size_t> waypoint_;  // per-MH waypoint cell index
+  std::vector<std::size_t> home_;      // commuter endpoints (cell indexes)
+  std::vector<std::size_t> work_;
+  std::size_t hotspot_cursor_ = 0;  // flashes rotate deterministically
+};
+
+}  // namespace ringnet::scenario

@@ -1,0 +1,106 @@
+#pragma once
+// ScenarioSpec: a declarative description of the dynamic workload one
+// experiment runs under — a mobility model driving MH handoffs over the
+// AP cell grid, a churn process (members leaving/rejoining the group), a
+// traffic shape for the sources, and a scripted fault timeline. Specs are
+// plain data: composable (any subset of the sections may be active),
+// replayable from a seed, and round-trippable through a flag-friendly text
+// form (parse_scenario / describe_scenario). scenario::Engine compiles a
+// spec into scheduled simulation events.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/time.hpp"
+
+namespace ringnet::scenario {
+
+enum class MobilityModel : std::uint8_t {
+  None,
+  RandomWaypoint,  // pick a waypoint cell on the AP grid, step toward it
+  Commuter,        // periodic home<->work shuttling over fixed cell pairs
+  Hotspot,         // flash crowds: a fraction converges on one cell,
+                   // dwells, then disperses to random cells
+};
+
+struct MobilitySpec {
+  MobilityModel model = MobilityModel::None;
+  double rate_hz = 1.0;  // per-MH step rate (RandomWaypoint, Poisson)
+  sim::SimTime commute_period = sim::secs(1.0);    // time between shuttles
+  double hotspot_fraction = 0.5;                   // share pulled per flash
+  sim::SimTime hotspot_interval = sim::secs(1.0);  // time between flashes
+  sim::SimTime hotspot_dwell = sim::msecs(400);    // dwell before dispersal
+};
+
+struct ChurnSpec {
+  double leave_rate_hz = 0.0;  // per-MH Poisson leave rate (0 = off)
+  sim::SimTime absence_mean = sim::msecs(500);  // mean detached dwell
+  bool rejoin = true;                           // false: leavers stay gone
+  // Scripted mass-leave: at `mass_leave_at` (relative to engine start) a
+  // fraction of the population detaches at once, rejoining after
+  // `mass_rejoin_after` (zero `mass_leave_at` disables the event).
+  sim::SimTime mass_leave_at = sim::SimTime::zero();
+  double mass_leave_fraction = 0.5;
+  sim::SimTime mass_rejoin_after = sim::secs(1.0);
+};
+
+/// Traffic shape. Forwarded into core::SourceConfig by the harness — the
+/// generator itself runs inside the protocol's source machinery so the
+/// analytic sizing model and the simulation describe the same workload.
+struct TrafficSpec {
+  core::TrafficPattern pattern = core::TrafficPattern::Constant;
+  double rate_hz = 100.0;      // per-source base rate
+  double burst_rate_hz = 0.0;  // MMPP ON rate (0 = 10x base)
+  sim::SimTime on_mean = sim::msecs(100);
+  sim::SimTime off_mean = sim::msecs(400);
+  sim::SimTime diurnal_period = sim::secs(2.0);
+  double sender_skew = 0.0;
+};
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    BrCrash,       // crash BR #index at `at` (token loss when custodian)
+    EjectBr,       // false-positive ejection of live BR #index
+    TokenLoss,     // the active token frame vanishes in transit at `at`
+    CellBlackout,  // AP #index cell dark over [at, at + duration)
+  };
+  Kind kind = Kind::BrCrash;
+  sim::SimTime at = sim::SimTime::zero();   // relative to engine start
+  std::size_t index = 0;                    // BR or AP tier-local index
+  sim::SimTime duration = sim::msecs(250);  // blackout window length
+};
+
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  MobilitySpec mobility;
+  ChurnSpec churn;
+  bool has_traffic = false;  // when set, traffic overrides config.source
+  TrafficSpec traffic;
+  std::vector<FaultEvent> faults;
+  // Optional protocol-option override: scenarios probing the retention /
+  // loss trade (rejoin-after-absence beyond the MQ window) carry it here
+  // so the canned catalogue stays self-contained.
+  std::optional<std::size_t> mq_retention;
+};
+
+/// Parse the flag-friendly text form: `;`-separated sections of
+/// `,`-separated `key=value` pairs, times in seconds. Examples:
+///   name=rush;mobility=commuter,period=0.6;traffic=diurnal,rate=150
+///   churn=poisson,leave=0.4,absence=0.3;fault=crash,br=1,at=1.0
+///   fault=blackout,ap=0,at=0.5,dur=0.4;mq_retention=128
+/// Section keys: mobility=waypoint|commuter|hotspot (rate, period,
+/// fraction, interval, dwell), churn=poisson|mass (leave, absence, rejoin,
+/// mass_at, mass_frac, mass_rejoin), traffic=constant|poisson|mmpp|diurnal
+/// (rate, burst, on, off, period, skew), fault=crash|eject|tokenloss|
+/// blackout (br, ap, at, dur). Returns nullopt and sets `error` on any
+/// unknown section, key or malformed value.
+std::optional<ScenarioSpec> parse_scenario(const std::string& text,
+                                           std::string* error = nullptr);
+
+/// Canonical text form; parse_scenario(describe_scenario(s)) reproduces s.
+std::string describe_scenario(const ScenarioSpec& spec);
+
+}  // namespace ringnet::scenario

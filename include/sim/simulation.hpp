@@ -5,8 +5,9 @@
 // wall-clock time or global RNG state, only this object.
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,49 +42,111 @@ class Trace {
   void enable() { enabled_ = true; }
   bool enabled() const { return enabled_; }
 
+  /// Cap retained events at `cap` (keep-latest ring); 0 restores the
+  /// unbounded default. A capped trace can stay enabled through soak runs:
+  /// memory is O(cap) and `dropped()` counts what fell off the front.
+  void set_capacity(std::size_t cap) {
+    capacity_ = cap;
+    while (over_capacity()) {
+      events_.pop_front();
+      ++dropped_;
+    }
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
   void record(TraceKind kind, SimTime at, NodeId node, std::uint64_t a = 0,
               std::uint64_t b = 0) {
-    if (enabled_) events_.push_back(TraceEvent{kind, at, node, a, b});
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{kind, at, node, a, b});
+    if (over_capacity()) {
+      events_.pop_front();
+      ++dropped_;
+    }
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
+
+  /// Visit every retained event of `kind` in order without materializing a
+  /// filtered copy.
+  template <typename Fn>
+  void for_each(TraceKind kind, Fn&& fn) const {
+    for (const auto& ev : events_) {
+      if (ev.kind == kind) fn(ev);
+    }
+  }
+
+  std::size_t count(TraceKind kind) const {
+    std::size_t n = 0;
+    for_each(kind, [&n](const TraceEvent&) { ++n; });
+    return n;
+  }
 
   std::vector<TraceEvent> filter(TraceKind kind) const {
     std::vector<TraceEvent> out;
-    for (const auto& ev : events_) {
-      if (ev.kind == kind) out.push_back(ev);
-    }
+    out.reserve(count(kind));
+    for_each(kind, [&out](const TraceEvent& ev) { out.push_back(ev); });
     return out;
   }
 
  private:
+  bool over_capacity() const {
+    return capacity_ != 0 && events_.size() > capacity_;
+  }
+
   bool enabled_ = false;
-  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t dropped_ = 0;
+  std::deque<TraceEvent> events_;
 };
 
+/// Counters and high-watermark gauges. Names are interned once into dense
+/// handles; hot paths hold a MetricId and every incr/gauge_max is a vector
+/// index, not a string-keyed tree lookup. The string-keyed overloads remain
+/// for cold paths (benches, tests, result distillation).
 class Metrics {
  public:
-  void incr(const std::string& name, std::uint64_t delta = 1) {
-    counters_[name] += delta;
-  }
-  std::uint64_t counter(const std::string& name) const {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  using MetricId = std::uint32_t;
+
+  /// Idempotent: interning the same name again returns the same handle.
+  MetricId intern(const std::string& name) {
+    const auto [it, inserted] =
+        ids_.emplace(name, static_cast<MetricId>(counters_.size()));
+    if (inserted) {
+      counters_.push_back(0);
+      gauges_.push_back(0.0);
+    }
+    return it->second;
   }
 
+  void incr(MetricId id, std::uint64_t delta = 1) { counters_[id] += delta; }
+  std::uint64_t counter(MetricId id) const { return counters_[id]; }
+
   /// Record an observation; the gauge keeps the maximum ever seen.
+  void gauge_max(MetricId id, double value) {
+    if (value > gauges_[id]) gauges_[id] = value;
+  }
+  double gauge(MetricId id) const { return gauges_[id]; }
+
+  void incr(const std::string& name, std::uint64_t delta = 1) {
+    incr(intern(name), delta);
+  }
+  std::uint64_t counter(const std::string& name) const {
+    const auto it = ids_.find(name);
+    return it == ids_.end() ? 0 : counters_[it->second];
+  }
   void gauge_max(const std::string& name, double value) {
-    auto [it, inserted] = gauges_.emplace(name, value);
-    if (!inserted && value > it->second) it->second = value;
+    gauge_max(intern(name), value);
   }
   double gauge(const std::string& name) const {
-    const auto it = gauges_.find(name);
-    return it == gauges_.end() ? 0.0 : it->second;
+    const auto it = ids_.find(name);
+    return it == ids_.end() ? 0.0 : gauges_[it->second];
   }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, double> gauges_;
+  std::unordered_map<std::string, MetricId> ids_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<double> gauges_;
 };
 
 class Simulation {

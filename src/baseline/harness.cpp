@@ -1,11 +1,29 @@
 #include "baseline/harness.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "scenario/engine.hpp"
 
 namespace ringnet::baseline {
 
 core::ProtocolConfig effective_config(const RunSpec& spec) {
   core::ProtocolConfig cfg = spec.config;
+  if (spec.scenario) {
+    if (spec.scenario->has_traffic) {
+      const scenario::TrafficSpec& t = spec.scenario->traffic;
+      cfg.source.pattern = t.pattern;
+      cfg.source.rate_hz = t.rate_hz;
+      cfg.source.burst_rate_hz = t.burst_rate_hz;
+      cfg.source.on_mean = t.on_mean;
+      cfg.source.off_mean = t.off_mean;
+      cfg.source.diurnal_period = t.diurnal_period;
+      cfg.source.sender_skew = t.sender_skew;
+    }
+    if (spec.scenario->mq_retention) {
+      cfg.options.mq_retention = *spec.scenario->mq_retention;
+    }
+  }
   switch (spec.variant) {
     case Variant::RingNet:
       cfg.options.ordered = true;
@@ -42,11 +60,17 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
   sim::Simulation sim(spec.seed);
   core::RingNetProtocol proto(sim, effective_config(spec));
   proto.start();
+  std::optional<scenario::Engine> engine;
+  if (spec.scenario) {
+    engine.emplace(*spec.scenario, proto, sim);
+    engine->arm();
+  }
   if (hook) hook(proto, sim);
 
   sim.run_for(spec.warmup + spec.run);
   proto.stop_sources();
   proto.mobility().stop();
+  if (engine) engine->stop();
   sim.run_for(spec.drain);
 
   RunResult out;
@@ -83,6 +107,11 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
   out.handoffs = metrics.counter("handoff.count");
   out.hot_attaches = metrics.counter("handoff.hot");
   out.cold_attaches = metrics.counter("handoff.cold");
+  out.churn_leaves = metrics.counter("churn.leaves");
+  out.churn_rejoins = metrics.counter("churn.rejoins");
+  out.blackout_drops = metrics.counter("blackout.dropped");
+  out.uplink_lost = metrics.counter("blackout.uplink_lost");
+  out.tokens_dropped = metrics.counter("token.dropped");
 
   if (proto.total_sent() > 0) {
     double min_ratio = 1.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <utility>
 
 namespace ringnet::core {
@@ -92,6 +93,48 @@ RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
     sources_on_mh_[s.mh].push_back(i);
     sources_.push_back(std::move(s));
   }
+
+  // Sender skew: source i carries weight (i+1)^-skew, normalized to mean 1
+  // so the aggregate submit rate stays num_sources * rate_hz.
+  if (config_.source.sender_skew > 0.0 && !sources_.empty()) {
+    double sum = 0.0;
+    for (auto& s : sources_) {
+      s.weight = std::pow(static_cast<double>(s.index) + 1.0,
+                          -config_.source.sender_skew);
+      sum += s.weight;
+    }
+    const double norm = static_cast<double>(sources_.size()) / sum;
+    for (auto& s : sources_) s.weight *= norm;
+  }
+
+  auto& mx = sim_.metrics();
+  mid_.mh_delivered = mx.intern("mh.delivered");
+  mid_.acks_sent = mx.intern("arq.acks_sent");
+  mid_.retransmits = mx.intern("arq.retransmits");
+  mid_.token_held = mx.intern("token.held");
+  mid_.token_dup_destroyed = mx.intern("token.duplicates_destroyed");
+  mid_.token_regenerated = mx.intern("token.regenerated");
+  mid_.token_dropped = mx.intern("token.dropped");
+  mid_.wq_dropped = mx.intern("wq.dropped");
+  mid_.gaps_skipped = mx.intern("mh.gaps_skipped");
+  mid_.gap_skipped_msgs = mx.intern("mh.gap_skipped_msgs");
+  mid_.membership_applied = mx.intern("membership.applied");
+  mid_.membership_relayed = mx.intern("membership.relayed");
+  mid_.ring_repairs = mx.intern("ring.repairs");
+  mid_.ring_rejoins = mx.intern("ring.rejoins");
+  mid_.handoff_count = mx.intern("handoff.count");
+  mid_.handoff_hot = mx.intern("handoff.hot");
+  mid_.handoff_cold = mx.intern("handoff.cold");
+  mid_.archive_pruned = mx.intern("archive.pruned");
+  mid_.churn_leaves = mx.intern("churn.leaves");
+  mid_.churn_rejoins = mx.intern("churn.rejoins");
+  mid_.blackout_dropped = mx.intern("blackout.dropped");
+  mid_.blackout_uplink_lost = mx.intern("blackout.uplink_lost");
+  mid_.park_dropped = mx.intern("source.park_dropped");
+  mid_.buf_wq_peak = mx.intern("buf.wq.peak");
+  mid_.buf_mq_peak = mx.intern("buf.mq.peak");
+  mid_.buf_archive_peak = mx.intern("buf.archive.peak");
+  mid_.buf_submitlog_peak = mx.intern("buf.submitlog.peak");
 }
 
 // ---------------------------------------------------------------------------
@@ -158,8 +201,54 @@ void RingNetProtocol::source_tick(std::size_t idx) {
   msg.lseq = src.next_lseq++;
   msg.payload_size = config_.source.payload_size;
   submit(src, msg);
-  const sim::SimTime period = sim::secs(1.0 / config_.source.rate_hz);
-  sim_.after(period, [this, idx] { source_tick(idx); });
+  sim::SimTime dt = next_submit_interval(src);
+  // Floor at one tick: a zero interval (microsecond rounding at extreme
+  // rates) would reschedule at the same timestamp forever.
+  if (dt <= sim::SimTime::zero()) dt = sim::usecs(1);
+  sim_.after(dt, [this, idx] { source_tick(idx); });
+}
+
+sim::SimTime RingNetProtocol::next_submit_interval(SourceState& src) {
+  const SourceConfig& sc = config_.source;
+  const double base = sc.rate_hz * src.weight;
+  switch (sc.pattern) {
+    case TrafficPattern::Constant:
+      return sim::secs(1.0 / base);
+    case TrafficPattern::Poisson:
+      return sim::secs(sim_.rng().exponential(base));
+    case TrafficPattern::Mmpp: {
+      // Competing exponentials: draw the gap at the current state's rate,
+      // but a gap crossing the next state transition is truncated there
+      // and re-drawn at the new state's rate — otherwise an OFF-scale
+      // residual would front-clip every burst onset.
+      const double burst =
+          sc.burst_rate_hz > 0.0 ? sc.burst_rate_hz * src.weight : 10.0 * base;
+      sim::SimTime t = sim_.now();
+      while (true) {
+        while (src.mmpp_until <= t) {
+          src.mmpp_on = !src.mmpp_on;
+          const double mean_s = std::max(
+              (src.mmpp_on ? sc.on_mean : sc.off_mean).seconds(), 1e-6);
+          src.mmpp_until += sim::secs(sim_.rng().exponential(1.0 / mean_s));
+        }
+        const sim::SimTime gap =
+            sim::secs(sim_.rng().exponential(src.mmpp_on ? burst : base));
+        if (t + gap <= src.mmpp_until) return t + gap - sim_.now();
+        t = src.mmpp_until;
+      }
+    }
+    case TrafficPattern::Diurnal: {
+      // Nonhomogeneous Poisson: the instantaneous rate rides a sinusoid
+      // between 0.1x and 1.9x the base over one diurnal_period.
+      constexpr double kTwoPi = 6.283185307179586;
+      const double period_s = std::max(sc.diurnal_period.seconds(), 1e-6);
+      const double rate =
+          base * (1.0 + 0.9 * std::sin(kTwoPi * sim_.now().seconds() /
+                                       period_s));
+      return sim::secs(sim_.rng().exponential(rate));
+    }
+  }
+  return sim::secs(1.0 / base);
 }
 
 void RingNetProtocol::submit(SourceState& src, proto::DataMsg msg) {
@@ -169,6 +258,11 @@ void RingNetProtocol::submit(SourceState& src, proto::DataMsg msg) {
   MhNode& m = *mh_by_id_.at(src.mh);
   if (!m.attached_) {
     src.parked.push_back(msg);
+    if (src.parked.size() > config_.options.source_park_cap) {
+      release_submit(src.parked.front());
+      src.parked.pop_front();
+      sim_.metrics().incr(mid_.park_dropped);
+    }
     return;
   }
   uplink_to_br(msg, src.mh);
@@ -176,6 +270,14 @@ void RingNetProtocol::submit(SourceState& src, proto::DataMsg msg) {
 
 void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
   MhNode& m = *mh_by_id_.at(mh);
+  if (cell_blacked_out(m.ap_)) {
+    // The radio cannot reach the AP and there is no end-to-end source ARQ:
+    // the submission is lost outright — unlike downlink drops, nothing
+    // ever repairs it, so it is counted separately from blackout.dropped.
+    sim_.metrics().incr(mid_.blackout_uplink_lost);
+    release_submit(msg);
+    return;
+  }
   const NodeId br = topo_.br_of(m.ap_);
   if (!br.valid()) {
     release_submit(msg);  // dropped before assignment: never archived
@@ -222,6 +324,12 @@ void RingNetProtocol::tau_tick(NodeId br) {
 }
 
 void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
+  if (!lost_serials_.empty() && lost_serials_.count(token.serial()) != 0) {
+    // The frame carrying this token was declared lost in transit
+    // (lose_token): it never arrives anywhere.
+    sim_.metrics().incr(mid_.token_dropped);
+    return;
+  }
   BrNode& b = *brs_.at(br);
   if (!b.alive_) {
     // The token reached a crashed node and is gone; topology maintenance
@@ -231,7 +339,7 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
   }
   if (token.serial() != active_token_serial_) {
     // Multiple-Token elimination: only the live lineage survives.
-    sim_.metrics().incr("token.duplicates_destroyed");
+    sim_.metrics().incr(mid_.token_dup_destroyed);
     sim_.trace().record(sim::TraceKind::TokenDestroy, sim_.now(), br,
                         token.epoch());
     return;
@@ -241,7 +349,7 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
   if (br == alive_ring_.front()) token.bump_rotation();
   sim_.trace().record(sim::TraceKind::TokenPass, sim_.now(), br, token.epoch(),
                       token.rotation());
-  sim_.metrics().incr("token.held");
+  sim_.metrics().incr(mid_.token_held);
 
   // WTSNP recycling: our previous entries have completed a full rotation.
   token.prune_entries_of(br);
@@ -255,7 +363,7 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
         return true;
       },
       dropped);
-  if (dropped > 0) sim_.metrics().incr("wq.dropped", dropped);
+  if (dropped > 0) sim_.metrics().incr(mid_.wq_dropped, dropped);
 
   for (const auto& m : batch) {
     if (m.source.index() < sources_.size()) {
@@ -272,9 +380,9 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
   }
   if (!batch.empty()) {
     archive_peak_ = std::max(archive_peak_, assigned_archive_.size());
-    sim_.metrics().gauge_max("buf.archive.peak",
+    sim_.metrics().gauge_max(mid_.buf_archive_peak,
                              static_cast<double>(assigned_archive_.size()));
-    sim_.metrics().gauge_max("buf.submitlog.peak",
+    sim_.metrics().gauge_max(mid_.buf_submitlog_peak,
                              static_cast<double>(submit_log_peak_));
     distribute(br, batch);
   }
@@ -324,7 +432,7 @@ void RingNetProtocol::br_receive_ordered(NodeId br, const proto::DataMsg& msg) {
   if (!b.alive_) return;
   if (config_.options.ordered) {
     if (!b.mq_.store(msg, sim_.now())) return;  // duplicate
-    sim_.metrics().gauge_max("buf.mq.peak",
+    sim_.metrics().gauge_max(mid_.buf_mq_peak,
                              static_cast<double>(b.mq_.size()));
     // With no members there are no acks to drive pruning: advance the
     // retention window once enough arrivals pile up (amortized, so the
@@ -341,6 +449,12 @@ void RingNetProtocol::forward_down(NodeId br, const proto::DataMsg& msg) {
   for (NodeId mh : br_members_.at(br)) {
     MhNode& m = *mh_by_id_.at(mh);
     if (!m.attached_) continue;
+    if (cell_blacked_out(m.ap_)) {
+      // The AP's radio is dark: the frame is dropped at the cell edge and
+      // the member catches up via ack-driven resync after the window.
+      sim_.metrics().incr(mid_.blackout_dropped);
+      continue;
+    }
     const sim::SimTime delay = downlink_delay(mh, data_bytes());
     sim_.after(delay, [this, mh, msg] { mh_receive(mh, msg, false); });
   }
@@ -351,6 +465,12 @@ void RingNetProtocol::mh_receive(NodeId mh, const proto::DataMsg& msg,
   (void)retransmission;
   MhNode& m = *mh_by_id_.at(mh);
   if (!m.attached_) return;  // missed; recovered via ack-driven resend
+  if (cell_blacked_out(m.ap_)) {
+    // Covers frames (and ARQ resends) already in flight when the window
+    // started, so blackout.dropped counts every frame the cell ate.
+    sim_.metrics().incr(mid_.blackout_dropped);
+    return;
+  }
   if (!config_.options.ordered) {
     const std::uint64_t key =
         (static_cast<std::uint64_t>(msg.source.v) << 40) ^ msg.lseq;
@@ -368,7 +488,7 @@ void RingNetProtocol::mh_receive(NodeId mh, const proto::DataMsg& msg,
 void RingNetProtocol::deliver_at_mh(MhNode& node, const proto::DataMsg& msg) {
   ++node.delivered_;
   node.last_delivery_ = sim_.now();
-  sim_.metrics().incr("mh.delivered");
+  sim_.metrics().incr(mid_.mh_delivered);
   sim_.trace().record(sim::TraceKind::Deliver, sim_.now(), node.id_, msg.gseq);
   if (msg.source.index() < sources_.size()) {
     const auto at = sources_[msg.source.index()].submit_log.get(msg.lseq);
@@ -388,9 +508,10 @@ void RingNetProtocol::ack_tick(NodeId mh) {
   sim_.after(config_.options.ack_period, [this, mh] { ack_tick(mh); });
   MhNode& m = *mh_by_id_.at(mh);
   if (!m.attached_) return;
+  if (cell_blacked_out(m.ap_)) return;  // the ack cannot leave the cell
   const NodeId br = topo_.br_of(m.ap_);
   if (!br.valid() || !brs_.at(br)->alive_) return;
-  sim_.metrics().incr("arq.acks_sent");
+  sim_.metrics().incr(mid_.acks_sent);
   const GlobalSeq wm = m.mq_.next_expected();
   const sim::SimTime delay = uplink_delay(mh, kAckBytes);
   sim_.after(delay, [this, br, mh, wm] { br_receive_ack(br, mh, wm); });
@@ -416,8 +537,8 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
       MhNode& m = *mh_by_id_.at(mh);
       if (!m.attached_ || m.mq_.next_expected() >= vf) return;
       m.mq_.skip_to(vf);
-      sim_.metrics().incr("mh.gaps_skipped");
-      sim_.metrics().incr("mh.gap_skipped_msgs", skipped);
+      sim_.metrics().incr(mid_.gaps_skipped);
+      sim_.metrics().incr(mid_.gap_skipped_msgs, skipped);
       sim_.trace().record(sim::TraceKind::GapSkip, sim_.now(), mh, skipped);
       for (const auto& d : m.mq_.deliverable()) {
         m.mq_.mark_delivered(d.gseq);
@@ -444,7 +565,7 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
       const proto::DataMsg* arch = archive_lookup(g);
       if (!arch) continue;
       if (archive_stored_at(g) + grace > sim_.now()) continue;  // in flight
-      sim_.metrics().incr("arq.retransmits");
+      sim_.metrics().incr(mid_.retransmits);
       const sim::SimTime delay =
           hop_delay(config_.hierarchy.wan,
                     net::link_key(arch->ordering_node, br), data_bytes());
@@ -467,7 +588,7 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
     const auto msg = b.mq_.fetch(g);
     if (!msg) continue;
     const sim::SimTime delay = downlink_delay(mh, data_bytes());
-    sim_.metrics().incr("arq.retransmits");
+    sim_.metrics().incr(mid_.retransmits);
     sim_.after(delay, [this, mh, m = *msg] { mh_receive(mh, m, true); });
     if (++resent >= kResendWindow) break;
   }
@@ -536,7 +657,7 @@ void RingNetProtocol::prune_archive() {
     ++archive_base_;
     ++pruned;
   }
-  if (pruned > 0) sim_.metrics().incr("archive.pruned", pruned);
+  if (pruned > 0) sim_.metrics().incr(mid_.archive_pruned, pruned);
 }
 
 void RingNetProtocol::release_submit(const proto::DataMsg& msg) {
@@ -588,11 +709,11 @@ void RingNetProtocol::membership_flush_tick(NodeId br) {
   events.swap(b.pending_membership_);
   for (const auto& ev : events) {
     b.view_.apply(ev.mh, ev.ap, ev.seq);
-    sim_.metrics().incr("membership.applied");
+    sim_.metrics().incr(mid_.membership_applied);
   }
   if (alive_ring_.size() > 1) {
     const NodeId next = next_alive_br(br);
-    sim_.metrics().incr("membership.relayed");
+    sim_.metrics().incr(mid_.membership_relayed);
     const sim::SimTime delay =
         hop_delay(config_.hierarchy.wan, net::link_key(br, next),
                   static_cast<std::uint32_t>(13 + 8 * events.size()));
@@ -614,7 +735,7 @@ void RingNetProtocol::membership_relay(
   if (!b.alive_) return;
   for (const auto& ev : events) {
     b.view_.apply(ev.mh, ev.ap, ev.seq);
-    sim_.metrics().incr("membership.applied");
+    sim_.metrics().incr(mid_.membership_applied);
   }
   visited.push_back(br);
   const NodeId next = next_alive_br(br);
@@ -622,7 +743,7 @@ void RingNetProtocol::membership_relay(
   if (std::find(visited.begin(), visited.end(), next) != visited.end()) {
     return;  // the batch has visited the whole (current) ring
   }
-  sim_.metrics().incr("membership.relayed");
+  sim_.metrics().incr(mid_.membership_relayed);
   const sim::SimTime delay =
       hop_delay(config_.hierarchy.wan, net::link_key(br, next),
                 static_cast<std::uint32_t>(13 + 8 * events.size()));
@@ -679,7 +800,7 @@ void RingNetProtocol::handle_br_failure(NodeId dead) {
   alive_ring_.erase(alive_ring_.begin() +
                     static_cast<std::ptrdiff_t>(it->second));
   rebuild_ring_index();
-  sim_.metrics().incr("ring.repairs");
+  sim_.metrics().incr(mid_.ring_repairs);
   sim_.trace().record(sim::TraceKind::RingRepair, sim_.now(), dead,
                       alive_ring_.size());
   for (NodeId br : alive_ring_) {
@@ -714,7 +835,7 @@ void RingNetProtocol::rejoin_ring(NodeId br) {
   for (NodeId id : alive_ring_) {
     brs_.at(id)->last_hb_from_prev_ = sim_.now();
   }
-  sim_.metrics().incr("ring.rejoins");
+  sim_.metrics().incr(mid_.ring_rejoins);
   sim_.trace().record(sim::TraceKind::RingRepair, sim_.now(), br,
                       alive_ring_.size());
   // Members under the rejoined BR catch up on anything multicast while it
@@ -737,7 +858,7 @@ void RingNetProtocol::regenerate_token() {
   token.set_next_gseq(any_assigned_ ? max_assigned_gseq_ + 1 : 0);
   const NodeId leader = leader_br();
   token_custodian_ = leader;
-  sim_.metrics().incr("token.regenerated");
+  sim_.metrics().incr(mid_.token_regenerated);
   sim_.trace().record(sim::TraceKind::TokenRegen, sim_.now(), leader,
                       current_epoch_);
   sim_.after(sim::usecs(1),
@@ -811,38 +932,84 @@ void RingNetProtocol::force_handoff(NodeId mh, NodeId target_ap) {
   begin_handoff(mh, target_ap);
 }
 
-sim::SimTime RingNetProtocol::begin_handoff(NodeId mh, NodeId target_ap) {
-  MhNode& m = *mh_by_id_.at(mh);
-
-  // Detach from the serving cell.
+void RingNetProtocol::detach_from_cell(MhNode& m) {
   const NodeId old_ap = m.ap_;
   const NodeId old_br = topo_.br_of(old_ap);
-  queue_membership_event(mh, NodeId::invalid());
+  queue_membership_event(m.id_, NodeId::invalid());
   m.attached_ = false;
   auto occ = ap_occupancy_.find(old_ap);
   if (occ != ap_occupancy_.end() && occ->second > 0) --occ->second;
   if (old_br.valid()) {
     auto& members = br_members_.at(old_br);
-    members.erase(std::remove(members.begin(), members.end(), mh),
+    members.erase(std::remove(members.begin(), members.end(), m.id_),
                   members.end());
     BrNode& b = *brs_.at(old_br);
-    b.member_wm_.erase(mh);
+    b.member_wm_.erase(m.id_);
     if (b.alive_) mark_acked(b);
   }
+}
 
-  const bool hot = ap_is_hot(target_ap, mh);
-  sim_.metrics().incr("handoff.count");
-  sim_.metrics().incr(hot ? "handoff.hot" : "handoff.cold");
-  sim_.trace().record(sim::TraceKind::Handoff, sim_.now(), mh, hot ? 1 : 0);
-
+sim::SimTime RingNetProtocol::schedule_attach(MhNode& m, NodeId ap,
+                                              bool hot) {
   sim::SimTime delay = config_.mobility.detach_gap;
   if (!hot) delay += config_.options.path_build;
-  sim_.after(delay, [this, mh, target_ap] { complete_attach(mh, target_ap); });
+  m.attach_pending_ = true;
+  const NodeId mh = m.id_;
+  sim_.after(delay, [this, mh, ap] { complete_attach(mh, ap); });
   return delay;
+}
+
+sim::SimTime RingNetProtocol::begin_handoff(NodeId mh, NodeId target_ap) {
+  MhNode& m = *mh_by_id_.at(mh);
+  detach_from_cell(m);
+
+  const bool hot = ap_is_hot(target_ap, mh);
+  sim_.metrics().incr(mid_.handoff_count);
+  sim_.metrics().incr(hot ? mid_.handoff_hot : mid_.handoff_cold);
+  sim_.trace().record(sim::TraceKind::Handoff, sim_.now(), mh, hot ? 1 : 0);
+  return schedule_attach(m, target_ap, hot);
+}
+
+void RingNetProtocol::detach_mh(NodeId mh) {
+  MhNode& m = *mh_by_id_.at(mh);
+  if (!m.attached_) return;
+  detach_from_cell(m);
+  sim_.metrics().incr(mid_.churn_leaves);
+}
+
+void RingNetProtocol::reattach_mh(NodeId mh, NodeId ap) {
+  MhNode& m = *mh_by_id_.at(mh);
+  if (m.attached_ || m.attach_pending_) return;
+  sim_.metrics().incr(mid_.churn_rejoins);
+  schedule_attach(m, ap, ap_is_hot(ap, mh));
+}
+
+void RingNetProtocol::lose_token() {
+  if (!config_.options.ordered || token_lost_) return;
+  lost_serials_.insert(active_token_serial_);
+  token_lost_ = true;
+  if (regen_pending_) return;
+  regen_pending_ = true;
+  // Detection: the ring notices ordering has stalled after the heartbeat
+  // miss budget, then one repair round-trip before the leader regenerates.
+  const sim::SimTime detect{config_.options.heartbeat_period.us *
+                            config_.options.heartbeat_miss_limit};
+  sim_.after(detect + config_.hierarchy.wan.latency +
+                 config_.hierarchy.wan.latency,
+             [this] { regenerate_token(); });
+}
+
+void RingNetProtocol::set_cell_blackout(NodeId ap, bool on) {
+  if (on) {
+    cell_blackout_.insert(ap);
+  } else {
+    cell_blackout_.erase(ap);
+  }
 }
 
 void RingNetProtocol::complete_attach(NodeId mh, NodeId ap) {
   MhNode& m = *mh_by_id_.at(mh);
+  m.attach_pending_ = false;
   m.ap_ = ap;
   m.attached_ = true;
   ++ap_occupancy_[ap];
@@ -939,7 +1106,7 @@ sim::SimTime RingNetProtocol::hop_delay(const net::ChannelModel& model,
   sim::SimTime d = model.one_way(bytes);
   const int budget = std::max(1, config_.options.max_retx);
   for (int attempt = 1; attempt < budget && lp.lost(sim_.rng()); ++attempt) {
-    sim_.metrics().incr("arq.retransmits");
+    sim_.metrics().incr(mid_.retransmits);
     d += config_.options.retx_timeout + model.one_way(bytes);
   }
   return d;
@@ -961,7 +1128,7 @@ sim::SimTime RingNetProtocol::downlink_delay(NodeId mh, std::uint32_t bytes) {
 
 void RingNetProtocol::note_wq_depth(const BrNode& br) {
   sim_.metrics().gauge_max(
-      "buf.wq.peak",
+      mid_.buf_wq_peak,
       static_cast<double>(br.staging_.size() + br.wq_.size()));
 }
 

@@ -1,0 +1,63 @@
+#include "scenario/catalogue.hpp"
+
+namespace ringnet::scenario {
+
+const std::vector<CannedScenario>& catalogue() {
+  static const std::vector<CannedScenario> canned = {
+      {"steady", "control: static membership, constant-rate sources",
+       "name=steady;traffic=constant,rate=150"},
+      {"waypoint-roam",
+       "random-waypoint mobility over the cell grid, Poisson traffic",
+       "name=waypoint-roam;mobility=waypoint,rate=2;"
+       "traffic=poisson,rate=150"},
+      {"commuter-rush",
+       "periodic home<->work shuttling with a diurnal ramp and sender skew",
+       "name=commuter-rush;mobility=commuter,period=0.6;"
+       "traffic=diurnal,rate=150,period=1.5,skew=0.8"},
+      {"flash-crowd",
+       "hotspot flash crowds under MMPP on/off traffic bursts",
+       "name=flash-crowd;mobility=hotspot,fraction=0.6,interval=0.8,"
+       "dwell=0.3;traffic=mmpp,rate=40,burst=600,on=0.1,off=0.4"},
+      {"churn-mill",
+       "Poisson leave/rejoin churn with short absences (MQ-covered resync)",
+       "name=churn-mill;churn=poisson,leave=0.5,absence=0.3;"
+       "traffic=poisson,rate=150"},
+      {"long-absence",
+       "churn past MQ retention: rejoiners gap-skip, missed range is lost",
+       "name=long-absence;churn=poisson,leave=0.3,absence=1.2;"
+       "traffic=poisson,rate=300;mq_retention=64"},
+      {"br-failover",
+       "scripted BR crash mid-run: ring repair + Token-Regeneration",
+       "name=br-failover;fault=crash,br=1,at=1.0;traffic=poisson,rate=150"},
+      {"token-storm",
+       "token frames lost in transit plus a false-positive BR ejection",
+       "name=token-storm;fault=tokenloss,at=0.7;fault=tokenloss,at=1.5;"
+       "fault=eject,br=2,at=1.1;traffic=poisson,rate=150"},
+      {"dark-cells",
+       "wireless cell blackout windows under bursty MMPP traffic",
+       "name=dark-cells;fault=blackout,ap=0,at=0.6,dur=0.35;"
+       "fault=blackout,ap=1,at=1.3,dur=0.35;"
+       "traffic=mmpp,rate=50,burst=500,on=0.1,off=0.4"},
+      {"mass-exodus",
+       "a majority detaches at once and floods back shortly after",
+       "name=mass-exodus;churn=mass,mass_at=0.9,mass_frac=0.6,"
+       "mass_rejoin=0.8;traffic=poisson,rate=150"},
+  };
+  return canned;
+}
+
+std::optional<ScenarioSpec> find_scenario(const std::string& name,
+                                          std::string* error) {
+  for (const CannedScenario& c : catalogue()) {
+    if (c.name == name) return parse_scenario(c.text, error);
+  }
+  // Not a canned name: accept ad-hoc scenario text directly, surfacing the
+  // parser's own diagnostic so a typo'd key in a long spec is locatable.
+  if (name.find('=') == std::string::npos) {
+    if (error != nullptr) *error = "no canned scenario named '" + name + "'";
+    return std::nullopt;
+  }
+  return parse_scenario(name, error);
+}
+
+}  // namespace ringnet::scenario

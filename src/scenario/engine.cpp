@@ -1,0 +1,271 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace ringnet::scenario {
+
+namespace {
+
+// XORed into the simulation seed so the engine draws from its own stream:
+// adding a scenario never perturbs the protocol's random sequence.
+constexpr std::uint64_t kStreamTag = 0x5CE9A210F00DULL;
+
+// Floors for self-rescheduling processes. A zero (or microsecond-rounding-
+// to-zero) interval would reschedule at the same timestamp forever and
+// livelock the scheduler's run_until loop; clamping guarantees time always
+// advances.
+sim::SimTime at_least_step(double dt_secs) {
+  const sim::SimTime dt = sim::secs(dt_secs);
+  return dt > sim::SimTime::zero() ? dt : sim::usecs(1);
+}
+
+sim::SimTime at_least_period(sim::SimTime t) {
+  return t > sim::SimTime::zero() ? t : sim::msecs(1);
+}
+
+}  // namespace
+
+Engine::Engine(ScenarioSpec spec, core::RingNetProtocol& proto,
+               sim::Simulation& sim)
+    : spec_(std::move(spec)),
+      proto_(proto),
+      sim_(sim),
+      rng_(sim.seed() ^ kStreamTag),
+      aps_(proto.topology().aps) {
+  grid_w_ = static_cast<std::size_t>(std::ceil(std::sqrt(
+      static_cast<double>(std::max<std::size_t>(aps_.size(), 1)))));
+  const std::size_t n_mh = proto_.mhs().size();
+  waypoint_.resize(n_mh, 0);
+  home_.resize(n_mh, 0);
+  work_.resize(n_mh, 0);
+}
+
+std::size_t Engine::ap_index(NodeId ap) const {
+  // AP NodeIds are assigned sequentially by build_hierarchy, so the
+  // tier-local index is the position in topology().aps.
+  return ap.index();
+}
+
+NodeId Engine::mh_id(std::size_t mh) const { return proto_.mhs()[mh]->id(); }
+
+void Engine::arm() {
+  running_ = true;
+  const std::size_t n_mh = proto_.mhs().size();
+  const bool can_move = aps_.size() > 1 && n_mh > 0;
+  switch (spec_.mobility.model) {
+    case MobilityModel::None:
+      break;
+    case MobilityModel::RandomWaypoint:
+      if (can_move) {
+        for (std::size_t i = 0; i < n_mh; ++i) {
+          waypoint_[i] = rng_.bounded(aps_.size());
+          schedule_waypoint_step(i);
+        }
+      }
+      break;
+    case MobilityModel::Commuter:
+      if (can_move) {
+        for (std::size_t i = 0; i < n_mh; ++i) {
+          home_[i] = ap_index(proto_.mhs()[i]->ap());
+          // The far side of the grid, so commutes cross cells (and in
+          // multi-BR deployments usually BR domains).
+          work_[i] = (home_[i] + aps_.size() / 2) % aps_.size();
+          if (work_[i] == home_[i]) work_[i] = (home_[i] + 1) % aps_.size();
+          // Stagger first departures across the period: rush, not a tick.
+          const sim::SimTime phase{spec_.mobility.commute_period.us *
+                                   static_cast<std::int64_t>(i + 1) /
+                                   static_cast<std::int64_t>(n_mh + 1)};
+          sim_.after(phase, [this, i] { commuter_trip(i); });
+        }
+      }
+      break;
+    case MobilityModel::Hotspot:
+      if (can_move) {
+        sim_.after(spec_.mobility.hotspot_interval,
+                   [this] { hotspot_flash(); });
+      }
+      break;
+  }
+
+  if (spec_.churn.leave_rate_hz > 0.0) {
+    for (std::size_t i = 0; i < n_mh; ++i) schedule_leave(i);
+  }
+  if (spec_.churn.mass_leave_at > sim::SimTime::zero()) {
+    sim_.after(spec_.churn.mass_leave_at, [this] { mass_leave(); });
+  }
+  for (const FaultEvent& ev : spec_.faults) schedule_fault(ev);
+}
+
+// ---------------------------------------------------------------------------
+// Mobility
+
+void Engine::schedule_waypoint_step(std::size_t mh) {
+  if (!running_) return;
+  const double dt =
+      rng_.exponential(std::max(spec_.mobility.rate_hz, 1e-9));
+  sim_.after(at_least_step(dt), [this, mh] { waypoint_step(mh); });
+}
+
+void Engine::waypoint_step(std::size_t mh) {
+  if (!running_) return;
+  const auto& node = *proto_.mhs()[mh];
+  if (node.attached()) {
+    const std::size_t cur = ap_index(node.ap());
+    if (cur == waypoint_[mh]) waypoint_[mh] = rng_.bounded(aps_.size());
+    if (cur != waypoint_[mh]) {
+      proto_.force_handoff(node.id(),
+                           aps_[step_toward(cur, waypoint_[mh])]);
+    }
+  }
+  schedule_waypoint_step(mh);
+}
+
+std::size_t Engine::step_toward(std::size_t from, std::size_t to) const {
+  // One king-move on the cell grid toward the waypoint (x, then y). Any
+  // fixed rule works — determinism is what matters.
+  const std::ptrdiff_t w = static_cast<std::ptrdiff_t>(grid_w_);
+  std::ptrdiff_t x = static_cast<std::ptrdiff_t>(from) % w;
+  std::ptrdiff_t y = static_cast<std::ptrdiff_t>(from) / w;
+  const std::ptrdiff_t tx = static_cast<std::ptrdiff_t>(to) % w;
+  const std::ptrdiff_t ty = static_cast<std::ptrdiff_t>(to) / w;
+  if (x < tx) {
+    ++x;
+  } else if (x > tx) {
+    --x;
+  }
+  if (y < ty) {
+    ++y;
+  } else if (y > ty) {
+    --y;
+  }
+  const std::size_t next = static_cast<std::size_t>(y * w + x);
+  // The last grid row may be ragged: jump stragglers straight home.
+  return next < aps_.size() ? next : to;
+}
+
+void Engine::commuter_trip(std::size_t mh) {
+  if (!running_) return;
+  const auto& node = *proto_.mhs()[mh];
+  if (node.attached()) {
+    const std::size_t cur = ap_index(node.ap());
+    const std::size_t target = cur == work_[mh] ? home_[mh] : work_[mh];
+    if (target != cur) proto_.force_handoff(node.id(), aps_[target]);
+  }
+  sim_.after(at_least_period(spec_.mobility.commute_period),
+             [this, mh] { commuter_trip(mh); });
+}
+
+void Engine::hotspot_flash() {
+  if (!running_) return;
+  // Flashes rotate over the grid deterministically; the crowd is sampled.
+  const std::size_t hotspot = hotspot_cursor_++ % aps_.size();
+  auto displaced = std::make_shared<std::vector<std::size_t>>();
+  for (std::size_t i = 0; i < proto_.mhs().size(); ++i) {
+    const auto& node = *proto_.mhs()[i];
+    if (!node.attached() || ap_index(node.ap()) == hotspot) continue;
+    if (!rng_.chance(spec_.mobility.hotspot_fraction)) continue;
+    proto_.force_handoff(node.id(), aps_[hotspot]);
+    displaced->push_back(i);
+  }
+  sim_.after(spec_.mobility.hotspot_dwell, [this, displaced] {
+    // Dispersal runs even after stop(): the crowd drains home.
+    for (const std::size_t i : *displaced) {
+      const auto& node = *proto_.mhs()[i];
+      if (!node.attached()) continue;
+      NodeId target = node.ap();
+      while (target == node.ap()) target = random_ap();
+      proto_.force_handoff(node.id(), target);
+    }
+  });
+  sim_.after(at_least_period(spec_.mobility.hotspot_interval),
+             [this] { hotspot_flash(); });
+}
+
+// ---------------------------------------------------------------------------
+// Churn
+
+void Engine::schedule_leave(std::size_t mh) {
+  if (!running_) return;
+  const double dt =
+      rng_.exponential(std::max(spec_.churn.leave_rate_hz, 1e-9));
+  sim_.after(at_least_step(dt), [this, mh] { leave(mh); });
+}
+
+void Engine::leave(std::size_t mh) {
+  if (!running_) return;
+  const auto& node = *proto_.mhs()[mh];
+  if (node.attached()) {
+    proto_.detach_mh(node.id());
+    if (spec_.churn.rejoin) {
+      const double mean = std::max(spec_.churn.absence_mean.seconds(), 1e-6);
+      const NodeId back = random_ap();
+      // Rejoins complete even after stop() so the drain phase reattaches
+      // (and resynchronizes) everyone who is coming back.
+      sim_.after(sim::secs(rng_.exponential(1.0 / mean)),
+                 [this, mh, back] { proto_.reattach_mh(mh_id(mh), back); });
+    }
+  }
+  schedule_leave(mh);
+}
+
+void Engine::mass_leave() {
+  if (!running_) return;  // a short run ended before the scripted exodus
+  auto gone = std::make_shared<std::vector<std::size_t>>();
+  for (std::size_t i = 0; i < proto_.mhs().size(); ++i) {
+    const auto& node = *proto_.mhs()[i];
+    if (node.attached() && rng_.chance(spec_.churn.mass_leave_fraction)) {
+      proto_.detach_mh(node.id());
+      gone->push_back(i);
+    }
+  }
+  sim_.after(spec_.churn.mass_rejoin_after, [this, gone] {
+    for (const std::size_t i : *gone) {
+      proto_.reattach_mh(mh_id(i), random_ap());
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+
+void Engine::schedule_fault(const FaultEvent& ev) {
+  // Like every disruptive process, scripted faults respect stop(): a fault
+  // timestamped past a shortened run window must not fire mid-drain and
+  // distort the completion measurement. Only a blackout's *end* is
+  // unconditional, so an in-progress window always lifts.
+  const auto& ring = proto_.topology().top_ring;
+  switch (ev.kind) {
+    case FaultEvent::Kind::BrCrash: {
+      const NodeId br = ring[ev.index % ring.size()];
+      sim_.after(ev.at, [this, br] {
+        if (running_) proto_.crash_node(br);
+      });
+      break;
+    }
+    case FaultEvent::Kind::EjectBr: {
+      const NodeId br = ring[ev.index % ring.size()];
+      sim_.after(ev.at, [this, br] {
+        if (running_) proto_.eject_br(br);
+      });
+      break;
+    }
+    case FaultEvent::Kind::TokenLoss:
+      sim_.after(ev.at, [this] {
+        if (running_) proto_.lose_token();
+      });
+      break;
+    case FaultEvent::Kind::CellBlackout: {
+      const NodeId ap = aps_[ev.index % aps_.size()];
+      sim_.after(ev.at, [this, ap] {
+        if (running_) proto_.set_cell_blackout(ap, true);
+      });
+      sim_.after(ev.at + ev.duration,
+                 [this, ap] { proto_.set_cell_blackout(ap, false); });
+      break;
+    }
+  }
+}
+
+}  // namespace ringnet::scenario

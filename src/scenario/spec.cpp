@@ -1,0 +1,351 @@
+#include "scenario/spec.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ringnet::scenario {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && s[b] == ' ') ++b;
+  while (e > b && s[e - 1] == ' ') --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  // Only edge whitespace is forgiven; an interior space stays put so a
+  // typo'd value ("rate=1 5") fails parsing instead of silently mutating.
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(trim(cur));
+  return out;
+}
+
+bool key_value(const std::string& token, std::string& key,
+               std::string& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(s, &used);
+    return used == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_size(const std::string& s, std::size_t& out) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(s, &used);
+    if (used != s.size()) return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_secs(const std::string& s, sim::SimTime& out) {
+  double v = 0.0;
+  if (!parse_double(s, v) || v < 0.0) return false;
+  out = sim::secs(v);
+  return true;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string fmt(sim::SimTime t) { return fmt(t.seconds()); }
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+bool apply_mobility(const std::vector<std::string>& tokens,
+                    const std::string& model, MobilitySpec& out,
+                    std::string* error) {
+  if (model == "none") {
+    out.model = MobilityModel::None;
+  } else if (model == "waypoint") {
+    out.model = MobilityModel::RandomWaypoint;
+  } else if (model == "commuter") {
+    out.model = MobilityModel::Commuter;
+  } else if (model == "hotspot") {
+    out.model = MobilityModel::Hotspot;
+  } else {
+    return fail(error, "unknown mobility model '" + model + "'");
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string k, v;
+    if (!key_value(tokens[i], k, v)) {
+      return fail(error, "malformed mobility token '" + tokens[i] + "'");
+    }
+    bool ok = false;
+    if (k == "rate") {
+      ok = parse_double(v, out.rate_hz) && out.rate_hz > 0.0;
+    } else if (k == "period") {
+      ok = parse_secs(v, out.commute_period);
+    } else if (k == "fraction") {
+      ok = parse_double(v, out.hotspot_fraction) &&
+           out.hotspot_fraction > 0.0 && out.hotspot_fraction <= 1.0;
+    } else if (k == "interval") {
+      ok = parse_secs(v, out.hotspot_interval);
+    } else if (k == "dwell") {
+      ok = parse_secs(v, out.hotspot_dwell);
+    } else {
+      return fail(error, "unknown mobility key '" + k + "'");
+    }
+    if (!ok) return fail(error, "bad mobility value '" + tokens[i] + "'");
+  }
+  return true;
+}
+
+bool apply_churn(const std::vector<std::string>& tokens,
+                 const std::string& kind, ChurnSpec& out,
+                 std::string* error) {
+  if (kind != "poisson" && kind != "mass") {
+    return fail(error, "unknown churn kind '" + kind + "'");
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string k, v;
+    if (!key_value(tokens[i], k, v)) {
+      return fail(error, "malformed churn token '" + tokens[i] + "'");
+    }
+    bool ok = false;
+    if (k == "leave") {
+      ok = parse_double(v, out.leave_rate_hz) && out.leave_rate_hz >= 0.0;
+    } else if (k == "absence") {
+      ok = parse_secs(v, out.absence_mean);
+    } else if (k == "rejoin") {
+      out.rejoin = v != "0";
+      ok = v == "0" || v == "1";
+    } else if (k == "mass_at") {
+      ok = parse_secs(v, out.mass_leave_at);
+    } else if (k == "mass_frac") {
+      ok = parse_double(v, out.mass_leave_fraction);
+    } else if (k == "mass_rejoin") {
+      ok = parse_secs(v, out.mass_rejoin_after);
+    } else {
+      return fail(error, "unknown churn key '" + k + "'");
+    }
+    if (!ok) return fail(error, "bad churn value '" + tokens[i] + "'");
+  }
+  return true;
+}
+
+bool apply_traffic(const std::vector<std::string>& tokens,
+                   const std::string& pattern, TrafficSpec& out,
+                   std::string* error) {
+  if (pattern == "constant") {
+    out.pattern = core::TrafficPattern::Constant;
+  } else if (pattern == "poisson") {
+    out.pattern = core::TrafficPattern::Poisson;
+  } else if (pattern == "mmpp") {
+    out.pattern = core::TrafficPattern::Mmpp;
+  } else if (pattern == "diurnal") {
+    out.pattern = core::TrafficPattern::Diurnal;
+  } else {
+    return fail(error, "unknown traffic pattern '" + pattern + "'");
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string k, v;
+    if (!key_value(tokens[i], k, v)) {
+      return fail(error, "malformed traffic token '" + tokens[i] + "'");
+    }
+    bool ok = false;
+    if (k == "rate") {
+      // Rejected at zero: a rate-0 source never ticks, so the scenario
+      // would "pass" every ordering gate vacuously.
+      ok = parse_double(v, out.rate_hz) && out.rate_hz > 0.0;
+    } else if (k == "burst") {
+      ok = parse_double(v, out.burst_rate_hz) && out.burst_rate_hz >= 0.0;
+    } else if (k == "on") {
+      ok = parse_secs(v, out.on_mean) && out.on_mean > sim::SimTime::zero();
+    } else if (k == "off") {
+      ok = parse_secs(v, out.off_mean) &&
+           out.off_mean > sim::SimTime::zero();
+    } else if (k == "period") {
+      ok = parse_secs(v, out.diurnal_period) &&
+           out.diurnal_period > sim::SimTime::zero();
+    } else if (k == "skew") {
+      ok = parse_double(v, out.sender_skew) && out.sender_skew >= 0.0;
+    } else {
+      return fail(error, "unknown traffic key '" + k + "'");
+    }
+    if (!ok) return fail(error, "bad traffic value '" + tokens[i] + "'");
+  }
+  return true;
+}
+
+bool apply_fault(const std::vector<std::string>& tokens,
+                 const std::string& kind, std::vector<FaultEvent>& out,
+                 std::string* error) {
+  FaultEvent ev;
+  if (kind == "crash") {
+    ev.kind = FaultEvent::Kind::BrCrash;
+  } else if (kind == "eject") {
+    ev.kind = FaultEvent::Kind::EjectBr;
+  } else if (kind == "tokenloss") {
+    ev.kind = FaultEvent::Kind::TokenLoss;
+  } else if (kind == "blackout") {
+    ev.kind = FaultEvent::Kind::CellBlackout;
+  } else {
+    return fail(error, "unknown fault kind '" + kind + "'");
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string k, v;
+    if (!key_value(tokens[i], k, v)) {
+      return fail(error, "malformed fault token '" + tokens[i] + "'");
+    }
+    bool ok = false;
+    if (k == "br" || k == "ap") {
+      ok = parse_size(v, ev.index);
+    } else if (k == "at") {
+      ok = parse_secs(v, ev.at);
+    } else if (k == "dur") {
+      ok = parse_secs(v, ev.duration);
+    } else {
+      return fail(error, "unknown fault key '" + k + "'");
+    }
+    if (!ok) return fail(error, "bad fault value '" + tokens[i] + "'");
+  }
+  out.push_back(ev);
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec> parse_scenario(const std::string& text,
+                                           std::string* error) {
+  ScenarioSpec spec;
+  for (const std::string& section : split(text, ';')) {
+    if (section.empty()) continue;
+    const auto tokens = split(section, ',');
+    std::string key, value;
+    if (!key_value(tokens[0], key, value)) {
+      if (error != nullptr) *error = "malformed section '" + section + "'";
+      return std::nullopt;
+    }
+    bool ok = false;
+    if (key == "name") {
+      spec.name = value;
+      ok = tokens.size() == 1;
+      if (!ok && error != nullptr) *error = "name takes no extra keys";
+    } else if (key == "mobility") {
+      ok = apply_mobility(tokens, value, spec.mobility, error);
+    } else if (key == "churn") {
+      ok = apply_churn(tokens, value, spec.churn, error);
+    } else if (key == "traffic") {
+      spec.has_traffic = true;
+      ok = apply_traffic(tokens, value, spec.traffic, error);
+    } else if (key == "fault") {
+      ok = apply_fault(tokens, value, spec.faults, error);
+    } else if (key == "mq_retention") {
+      std::size_t n = 0;
+      ok = parse_size(value, n) && tokens.size() == 1;
+      if (ok) spec.mq_retention = n;
+      if (!ok && error != nullptr) {
+        *error = "bad mq_retention '" + value + "'";
+      }
+    } else {
+      if (error != nullptr) *error = "unknown section '" + key + "'";
+    }
+    if (!ok) return std::nullopt;
+  }
+  return spec;
+}
+
+std::string describe_scenario(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "name=" << spec.name;
+  const MobilitySpec& m = spec.mobility;
+  switch (m.model) {
+    case MobilityModel::None:
+      break;
+    case MobilityModel::RandomWaypoint:
+      os << ";mobility=waypoint,rate=" << fmt(m.rate_hz);
+      break;
+    case MobilityModel::Commuter:
+      os << ";mobility=commuter,period=" << fmt(m.commute_period);
+      break;
+    case MobilityModel::Hotspot:
+      os << ";mobility=hotspot,fraction=" << fmt(m.hotspot_fraction)
+         << ",interval=" << fmt(m.hotspot_interval)
+         << ",dwell=" << fmt(m.hotspot_dwell);
+      break;
+  }
+  const ChurnSpec& c = spec.churn;
+  if (c.leave_rate_hz > 0.0) {
+    os << ";churn=poisson,leave=" << fmt(c.leave_rate_hz)
+       << ",absence=" << fmt(c.absence_mean)
+       << ",rejoin=" << (c.rejoin ? 1 : 0);
+  }
+  if (c.mass_leave_at > sim::SimTime::zero()) {
+    os << ";churn=mass,mass_at=" << fmt(c.mass_leave_at)
+       << ",mass_frac=" << fmt(c.mass_leave_fraction)
+       << ",mass_rejoin=" << fmt(c.mass_rejoin_after);
+  }
+  if (spec.has_traffic) {
+    const TrafficSpec& t = spec.traffic;
+    switch (t.pattern) {
+      case core::TrafficPattern::Constant:
+        os << ";traffic=constant,rate=" << fmt(t.rate_hz);
+        break;
+      case core::TrafficPattern::Poisson:
+        os << ";traffic=poisson,rate=" << fmt(t.rate_hz);
+        break;
+      case core::TrafficPattern::Mmpp:
+        os << ";traffic=mmpp,rate=" << fmt(t.rate_hz)
+           << ",burst=" << fmt(t.burst_rate_hz) << ",on=" << fmt(t.on_mean)
+           << ",off=" << fmt(t.off_mean);
+        break;
+      case core::TrafficPattern::Diurnal:
+        os << ";traffic=diurnal,rate=" << fmt(t.rate_hz)
+           << ",period=" << fmt(t.diurnal_period);
+        break;
+    }
+    if (t.sender_skew > 0.0) os << ",skew=" << fmt(t.sender_skew);
+  }
+  for (const FaultEvent& ev : spec.faults) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::BrCrash:
+        os << ";fault=crash,br=" << ev.index << ",at=" << fmt(ev.at);
+        break;
+      case FaultEvent::Kind::EjectBr:
+        os << ";fault=eject,br=" << ev.index << ",at=" << fmt(ev.at);
+        break;
+      case FaultEvent::Kind::TokenLoss:
+        os << ";fault=tokenloss,at=" << fmt(ev.at);
+        break;
+      case FaultEvent::Kind::CellBlackout:
+        os << ";fault=blackout,ap=" << ev.index << ",at=" << fmt(ev.at)
+           << ",dur=" << fmt(ev.duration);
+        break;
+    }
+  }
+  if (spec.mq_retention) os << ";mq_retention=" << *spec.mq_retention;
+  return os.str();
+}
+
+}  // namespace ringnet::scenario

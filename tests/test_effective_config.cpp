@@ -1,0 +1,112 @@
+// baseline::effective_config: the variant resolver's degenerate
+// hierarchies are shaped exactly as documented — SingleRing is one logical
+// ring with one cell per ring node, Sequencer is a star around a single
+// ordering node, RingNetUnordered only flips the ordering pass off — and
+// scenario traffic/retention overrides land in the resolved config.
+
+#include "baseline/harness.hpp"
+#include "ringnet_test.hpp"
+#include "scenario/spec.hpp"
+
+using namespace ringnet;
+
+namespace {
+
+baseline::RunSpec base_spec() {
+  baseline::RunSpec spec;
+  spec.config.hierarchy.num_brs = 3;
+  spec.config.hierarchy.ags_per_br = 2;
+  spec.config.hierarchy.aps_per_ag = 2;
+  spec.config.hierarchy.mhs_per_ap = 2;
+  spec.flat_aps = 6;
+  spec.flat_mhs_per_ap = 2;
+  return spec;
+}
+
+}  // namespace
+
+TEST(ringnet_keeps_hierarchy_and_orders) {
+  auto spec = base_spec();
+  spec.variant = baseline::Variant::RingNet;
+  const auto cfg = baseline::effective_config(spec);
+  CHECK(cfg.options.ordered);
+  CHECK_EQ(cfg.hierarchy.num_brs, std::size_t{3});
+  CHECK_EQ(cfg.hierarchy.ags_per_br, std::size_t{2});
+  CHECK_EQ(cfg.hierarchy.aps_per_ag, std::size_t{2});
+  CHECK_EQ(cfg.hierarchy.mhs_per_ap, std::size_t{2});
+}
+
+TEST(unordered_only_flips_ordering_off) {
+  auto spec = base_spec();
+  spec.variant = baseline::Variant::RingNetUnordered;
+  const auto cfg = baseline::effective_config(spec);
+  CHECK(!cfg.options.ordered);
+  // Same distribution vehicle: the hierarchy is untouched.
+  CHECK_EQ(cfg.hierarchy.num_brs, spec.config.hierarchy.num_brs);
+  CHECK_EQ(cfg.hierarchy.ags_per_br, spec.config.hierarchy.ags_per_br);
+  CHECK_EQ(cfg.hierarchy.aps_per_ag, spec.config.hierarchy.aps_per_ag);
+  CHECK_EQ(cfg.hierarchy.mhs_per_ap, spec.config.hierarchy.mhs_per_ap);
+}
+
+TEST(single_ring_is_one_flat_ring_of_cells) {
+  auto spec = base_spec();
+  spec.variant = baseline::Variant::SingleRing;
+  const auto cfg = baseline::effective_config(spec);
+  CHECK(cfg.options.ordered);
+  // One ring node per cell: every AP hangs off its own BR through a
+  // degenerate one-AG, one-AP chain.
+  CHECK_EQ(cfg.hierarchy.num_brs, spec.flat_aps);
+  CHECK_EQ(cfg.hierarchy.ags_per_br, std::size_t{1});
+  CHECK_EQ(cfg.hierarchy.aps_per_ag, std::size_t{1});
+  CHECK_EQ(cfg.hierarchy.mhs_per_ap, spec.flat_mhs_per_ap);
+  // The ring must close even when the flat shape degenerates.
+  auto tiny = spec;
+  tiny.flat_aps = 1;
+  CHECK_EQ(baseline::effective_config(tiny).hierarchy.num_brs,
+           std::size_t{2});
+}
+
+TEST(sequencer_is_a_star_around_one_ordering_node) {
+  auto spec = base_spec();
+  spec.variant = baseline::Variant::Sequencer;
+  const auto cfg = baseline::effective_config(spec);
+  CHECK(cfg.options.ordered);
+  CHECK_EQ(cfg.hierarchy.num_brs, std::size_t{1});
+  CHECK_EQ(cfg.hierarchy.ags_per_br, std::size_t{1});
+  CHECK_EQ(cfg.hierarchy.aps_per_ag, spec.flat_aps);
+  CHECK_EQ(cfg.hierarchy.mhs_per_ap, spec.flat_mhs_per_ap);
+}
+
+TEST(scenario_traffic_and_retention_override) {
+  auto spec = base_spec();
+  scenario::ScenarioSpec sc;
+  sc.has_traffic = true;
+  sc.traffic.pattern = core::TrafficPattern::Mmpp;
+  sc.traffic.rate_hz = 42.0;
+  sc.traffic.burst_rate_hz = 777.0;
+  sc.traffic.sender_skew = 1.5;
+  sc.mq_retention = 64;
+  spec.scenario = sc;
+  const auto cfg = baseline::effective_config(spec);
+  CHECK(cfg.source.pattern == core::TrafficPattern::Mmpp);
+  CHECK_NEAR(cfg.source.rate_hz, 42.0, 1e-12);
+  CHECK_NEAR(cfg.source.burst_rate_hz, 777.0, 1e-12);
+  CHECK_NEAR(cfg.source.sender_skew, 1.5, 1e-12);
+  CHECK_EQ(cfg.options.mq_retention, std::size_t{64});
+  // The payload size is deployment config, not workload: untouched.
+  CHECK_EQ(cfg.source.payload_size, spec.config.source.payload_size);
+}
+
+TEST(scenario_without_traffic_leaves_sources_alone) {
+  auto spec = base_spec();
+  spec.config.source.rate_hz = 123.0;
+  scenario::ScenarioSpec sc;
+  sc.mobility.model = scenario::MobilityModel::RandomWaypoint;
+  spec.scenario = sc;
+  const auto cfg = baseline::effective_config(spec);
+  CHECK_NEAR(cfg.source.rate_hz, 123.0, 1e-12);
+  CHECK(cfg.source.pattern == core::TrafficPattern::Constant);
+  CHECK_EQ(cfg.options.mq_retention, spec.config.options.mq_retention);
+}
+
+TEST_MAIN()

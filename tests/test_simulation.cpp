@@ -39,6 +39,49 @@ TEST(trace_filter) {
   CHECK(quiet.trace().events().empty());
 }
 
+TEST(metrics_interned_handles_alias_string_keys) {
+  sim::Metrics m;
+  const auto id = m.intern("hot.counter");
+  CHECK_EQ(m.intern("hot.counter"), id);  // idempotent
+  m.incr(id, 3);
+  m.incr("hot.counter", 2);
+  CHECK_EQ(m.counter(id), std::uint64_t{5});
+  CHECK_EQ(m.counter("hot.counter"), std::uint64_t{5});
+  const auto g = m.intern("hot.gauge");
+  m.gauge_max(g, 4.0);
+  m.gauge_max("hot.gauge", 9.0);
+  m.gauge_max(g, 6.0);
+  CHECK_NEAR(m.gauge("hot.gauge"), 9.0, 1e-9);
+  CHECK_NEAR(m.gauge(g), 9.0, 1e-9);
+}
+
+TEST(trace_ring_capacity_keeps_latest) {
+  sim::Trace trace;
+  trace.enable();
+  trace.set_capacity(3);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    trace.record(sim::TraceKind::Deliver, sim::SimTime{i}, NodeId{1},
+                 static_cast<std::uint64_t>(i));
+  }
+  CHECK_EQ(trace.events().size(), std::size_t{3});
+  CHECK_EQ(trace.dropped(), std::uint64_t{2});
+  CHECK_EQ(trace.events().front().a, std::uint64_t{2});  // oldest kept
+  CHECK_EQ(trace.events().back().a, std::uint64_t{4});
+  // Shrinking the cap trims the front immediately.
+  trace.set_capacity(1);
+  CHECK_EQ(trace.events().size(), std::size_t{1});
+  CHECK_EQ(trace.events().front().a, std::uint64_t{4});
+  CHECK_EQ(trace.dropped(), std::uint64_t{4});
+  // for_each visits without materializing; count matches filter.
+  trace.record(sim::TraceKind::Handoff, sim::SimTime{9}, NodeId{2});
+  CHECK_EQ(trace.count(sim::TraceKind::Handoff), std::size_t{1});
+  CHECK_EQ(trace.filter(sim::TraceKind::Handoff).size(), std::size_t{1});
+  std::uint64_t sum = 0;
+  trace.for_each(sim::TraceKind::Handoff,
+                 [&sum](const sim::TraceEvent& ev) { sum += ev.node.v; });
+  CHECK_EQ(sum, std::uint64_t{2});
+}
+
 namespace {
 
 std::string trace_fingerprint(std::uint64_t seed) {
