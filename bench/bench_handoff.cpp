@@ -8,6 +8,7 @@
 // delivery completeness and ordering health. A user-supplied --scenario
 // replaces the swept mobility model (rows are labeled with its name).
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -44,8 +45,10 @@ struct SweepPoint {
 
 std::string fmt1(double v) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.1f", v);
-  return buf;
+  const int len = std::snprintf(buf, sizeof(buf), "%.1f", v);
+  if (len < 0) return "nan";  // encoding error: cannot happen for %f
+  const auto n = std::min(sizeof(buf) - 1, static_cast<std::size_t>(len));
+  return std::string(buf, n);
 }
 
 void emit_rows(stats::Table& table, const std::vector<SweepPoint>& points,

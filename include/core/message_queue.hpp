@@ -132,6 +132,8 @@ class MessageQueue {
     entries_.erase(entries_.begin(), entries_.lower_bound(cut));
   }
 
+  // lint: map-ok — prune()/valid_front() walk entries in gseq order and
+  // lean on lower_bound; an unordered map would force a sort per prune.
   std::map<GlobalSeq, Entry> entries_;
   GlobalSeq next_expected_ = 0;
   GlobalSeq delivered_ = 0;

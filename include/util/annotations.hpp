@@ -1,0 +1,73 @@
+#pragma once
+// Clang thread-safety (capability) analysis macros. Under clang with
+// -Wthread-safety these expand to the capability attributes, turning
+// lock-discipline violations (touching an RN_GUARDED_BY member without its
+// mutex, calling an RN_REQUIRES function unlocked, leaking a lock) into
+// compile errors; under gcc and other compilers they expand to nothing.
+// libstdc++'s <mutex> carries no capability attributes, so annotated code
+// locks through util/sync.hpp's Mutex/MutexLock/CondVar wrappers, which
+// re-export std::mutex with the attributes attached.
+//
+// Usage sketch (see util/thread_pool.hpp for the canonical instance):
+//
+//   std::mutex mu_;
+//   std::deque<Task> queue_ RN_GUARDED_BY(mu_);
+//   void push_locked(Task t) RN_REQUIRES(mu_);
+//   bool idle() const RN_EXCLUDES(mu_);
+
+// NOLINTBEGIN(bugprone-macro-parentheses): the macro arguments are
+// attribute tokens (e.g. `capability("mutex")`), not expressions —
+// parenthesizing them would break the attribute syntax.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RN_THREAD_ANNOTATION
+#define RN_THREAD_ANNOTATION(x)  // no-op outside clang's analysis
+#endif
+
+/// Names a struct/class as a lockable capability (rarely needed directly;
+/// std::mutex is pre-annotated).
+#define RN_CAPABILITY(x) RN_THREAD_ANNOTATION(capability(x))
+
+/// A scoped lock type (acquires in its constructor, releases in its
+/// destructor), like std::lock_guard.
+#define RN_SCOPED_CAPABILITY RN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define RN_GUARDED_BY(x) RN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define RN_PT_GUARDED_BY(x) RN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while holding every listed capability.
+#define RN_REQUIRES(...) \
+  RN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function callable only while holding the listed capabilities shared.
+#define RN_REQUIRES_SHARED(...) \
+  RN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and returns holding it.
+#define RN_ACQUIRE(...) \
+  RN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability it was called holding.
+#define RN_RELEASE(...) \
+  RN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed capabilities
+/// (it takes them itself; calling it locked would self-deadlock).
+#define RN_EXCLUDES(...) RN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to data guarded by `x`.
+#define RN_RETURN_CAPABILITY(x) RN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot model (e.g. the worker
+/// loop's interleaved lock/unlock around task execution). Every use must
+/// carry a comment saying why.
+#define RN_NO_THREAD_SAFETY_ANALYSIS \
+  RN_THREAD_ANNOTATION(no_thread_safety_analysis)
+// NOLINTEND(bugprone-macro-parentheses)

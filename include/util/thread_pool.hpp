@@ -1,16 +1,27 @@
 #pragma once
-// parallel_map: run `fn(0..n)` across a transient pool of std::threads and
-// return the results in index order. Each call site owns a deterministic
-// unit of work (one Simulation per sweep point), so the only requirement
-// here is order preservation and exception propagation — not scheduling
-// fairness.
+// ThreadPool: a persistent, fully thread-safety-annotated worker pool
+// (fixed worker set, FIFO task queue, drain-on-shutdown), plus
+// parallel_map(): run `fn(0..n)` across the pool and return the results in
+// index order with exception propagation. Each parallel_map call site owns
+// a deterministic unit of work (one Simulation per sweep point), so the
+// requirements are order preservation and error propagation — not
+// scheduling fairness. The pool is the concurrency keystone for the
+// threaded runtime and domain-sharded simulation work: all shared state is
+// RN_GUARDED_BY the pool mutex and clang builds enforce the discipline
+// with -Wthread-safety -Werror (dynamic counterpart: the TSan CI job).
 
 #include <atomic>
 #include <cstddef>
+#include <deque>
 #include <exception>
-#include <mutex>
+#include <functional>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace ringnet::util {
 
@@ -19,45 +30,147 @@ inline std::size_t default_parallelism() {
   return hw == 0 ? 4 : hw;
 }
 
+/// Fixed-size worker pool over a FIFO task queue.
+///
+/// Lifecycle contract (exercised by test_thread_pool):
+///  - submit() enqueues a task and returns true; after shutdown has begun
+///    it drops the task and returns false (never blocks, never throws).
+///  - wait_idle() blocks until every submitted task has completed, then
+///    rethrows the first exception any task raised since the previous
+///    wait_idle() (tasks continue running after a failure; the error is
+///    latched, not cancelling).
+///  - The destructor drains: queued tasks still run to completion before
+///    the workers exit and join. Errors latched but never collected by a
+///    wait_idle() are discarded with the pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers = 0) {
+    const std::size_t n = workers == 0 ? default_parallelism() : workers;
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      MutexLock lock(mu_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue `task`; false (task dropped) once shutdown has begun.
+  bool submit(std::function<void()> task) RN_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      if (stopping_) return false;
+      queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+    return true;
+  }
+
+  /// Block until the queue is empty and no task is running; rethrow the
+  /// first task exception latched since the last wait_idle().
+  void wait_idle() RN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!queue_.empty() || active_ != 0) idle_cv_.wait(mu_);
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  void worker_loop() RN_EXCLUDES(mu_) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        MutexLock lock(mu_);
+        while (queue_.empty() && !stopping_) work_cv_.wait(mu_);
+        if (queue_.empty()) return;  // stopping and fully drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      try {
+        task();
+      } catch (...) {
+        MutexLock lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      bool idle = false;
+      {
+        MutexLock lock(mu_);
+        --active_;
+        idle = queue_.empty() && active_ == 0;
+      }
+      if (idle) idle_cv_.notify_all();
+    }
+  }
+
+  Mutex mu_;
+  CondVar work_cv_;  // signalled on: queue growth, shutdown
+  CondVar idle_cv_;  // signalled on: pool went idle
+  std::deque<std::function<void()>> queue_ RN_GUARDED_BY(mu_);
+  std::size_t active_ RN_GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stopping_ RN_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ RN_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_;  // written only in the constructor
+};
+
 template <typename R, typename Fn>
 std::vector<R> parallel_map(std::size_t n, Fn&& fn,
                             std::size_t max_threads = 0) {
-  std::vector<R> out(n);
-  if (n == 0) return out;
+  if (n == 0) return {};
   std::size_t workers = max_threads == 0 ? default_parallelism() : max_threads;
   if (workers > n) workers = n;
 
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) out[i] = fn(i);
+    std::vector<R> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
     return out;
   }
 
+  // Results land in individually-addressable slots, never a std::vector<R>
+  // written concurrently: vector<bool> packs elements into shared words, so
+  // parallel writes to adjacent indexes would race (caught by TSan;
+  // regression-tested by parallel_map_bool_results in test_util).
+  auto slots = std::make_unique<R[]>(n);
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  R* const out = slots.get();
 
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || failed.load(std::memory_order_relaxed)) return;
-      try {
-        out[i] = fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
+  {
+    ThreadPool pool(workers);
+    for (std::size_t t = 0; t < workers; ++t) {
+      pool.submit([&next, &failed, &fn, out, n] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n || failed.load(std::memory_order_relaxed)) return;
+          try {
+            out[i] = fn(i);
+          } catch (...) {
+            failed.store(true, std::memory_order_relaxed);
+            throw;  // latched by the pool, rethrown from wait_idle()
+          }
+        }
+      });
     }
-  };
+    pool.wait_idle();  // propagates the first worker exception
+  }
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-  return out;
+  return std::vector<R>(std::make_move_iterator(out),
+                        std::make_move_iterator(out + n));
 }
 
 }  // namespace ringnet::util

@@ -164,8 +164,8 @@ void RingNetProtocol::start() {
     proto::OrderingToken token(kGroup, current_epoch_);
     token.set_serial(active_token_serial_);
     token_custodian_ = topo_.top_ring.front();
-    sim_.after(sim::usecs(1), [this, token] {
-      token_arrive(token_custodian_, token);
+    sim_.after(sim::usecs(1), [this, token = std::move(token)]() mutable {
+      token_arrive(token_custodian_, std::move(token));
     });
   }
 
@@ -399,7 +399,11 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
                        token_bytes);
   }
   token_custodian_ = next;
-  sim_.after(delay, [this, next, token] { token_arrive(next, token); });
+  // Move the token into the hop event: its WTSNP entry vector would
+  // otherwise be copied on every pass of the ring's hottest path.
+  sim_.after(delay, [this, next, token = std::move(token)]() mutable {
+    token_arrive(next, std::move(token));
+  });
 }
 
 void RingNetProtocol::distribute(NodeId origin,
@@ -862,7 +866,9 @@ void RingNetProtocol::regenerate_token() {
   sim_.trace().record(sim::TraceKind::TokenRegen, sim_.now(), leader,
                       current_epoch_);
   sim_.after(sim::usecs(1),
-             [this, leader, token] { token_arrive(leader, token); });
+             [this, leader, token = std::move(token)]() mutable {
+               token_arrive(leader, std::move(token));
+             });
 }
 
 void RingNetProtocol::crash_node(NodeId id) {
@@ -896,7 +902,9 @@ void RingNetProtocol::eject_br(NodeId br) {
 void RingNetProtocol::inject_duplicate_token(NodeId at, std::uint64_t epoch) {
   proto::OrderingToken dup(kGroup, epoch);
   dup.set_serial(next_token_serial_++);
-  sim_.after(sim::usecs(1), [this, at, dup] { token_arrive(at, dup); });
+  sim_.after(sim::usecs(1), [this, at, dup = std::move(dup)]() mutable {
+    token_arrive(at, std::move(dup));
+  });
 }
 
 // ---------------------------------------------------------------------------

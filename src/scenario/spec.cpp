@@ -1,5 +1,6 @@
 #include "scenario/spec.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -71,8 +72,10 @@ bool parse_secs(const std::string& s, sim::SimTime& out) {
 
 std::string fmt(double v) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", v);
-  return buf;
+  const int len = std::snprintf(buf, sizeof(buf), "%g", v);
+  if (len < 0) return "nan";  // encoding error: cannot happen for %g
+  const auto n = std::min(sizeof(buf) - 1, static_cast<std::size_t>(len));
+  return std::string(buf, n);
 }
 
 std::string fmt(sim::SimTime t) { return fmt(t.seconds()); }

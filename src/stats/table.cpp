@@ -9,8 +9,10 @@ namespace {
 
 std::string format_double(double v, int precision) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return std::string(buf);
+  const int len = std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  if (len < 0) return "nan";  // encoding error: cannot happen for %f
+  const auto n = std::min(sizeof(buf) - 1, static_cast<std::size_t>(len));
+  return std::string(buf, n);
 }
 
 }  // namespace

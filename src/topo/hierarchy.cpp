@@ -117,6 +117,7 @@ Topology build_hierarchy(const HierarchyConfig& config) {
   for (std::size_t b = 0; b < config.num_brs; ++b) {
     const NodeId br = topo.top_ring[b];
     std::vector<NodeId> ag_ring;
+    ag_ring.reserve(config.ags_per_br);
     for (std::size_t g = 0; g < config.ags_per_br; ++g) {
       const NodeId ag = NodeId::make(Tier::AG, next_ag++);
       ag_ring.push_back(ag);

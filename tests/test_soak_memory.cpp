@@ -65,9 +65,14 @@ TEST(archive_prunes_to_retention_window) {
 // total — and nothing may be lost.
 TEST(soak_one_million_messages_bounded_memory) {
   std::uint64_t target = 1'000'000;
+  // Single-threaded main; no concurrent setenv to race with.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("RINGNET_SOAK_MESSAGES")) {
-    const long long v = std::atoll(env);
-    if (v > 0) target = static_cast<std::uint64_t>(v);
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      target = static_cast<std::uint64_t>(v);
+    }
   }
   const double rate = 6500.0;
   const double seconds =

@@ -1,0 +1,153 @@
+// ThreadPool lifecycle and stress coverage: enqueue/drain under contention,
+// wait_idle() blocking semantics, exception latching and rethrow, reuse
+// after a failure, drain-on-shutdown ordering, and submit-after-shutdown
+// rejection. Run under TSan in CI, this is the dynamic check that the
+// RN_GUARDED_BY discipline on the pool internals is not just decorative.
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ringnet_test.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace ringnet;
+
+TEST(pool_runs_every_task) {
+  std::atomic<std::uint64_t> sum{0};
+  {
+    util::ThreadPool pool(4);
+    for (std::uint64_t i = 1; i <= 1000; ++i) {
+      CHECK(pool.submit([&sum, i] {
+        sum.fetch_add(i, std::memory_order_relaxed);
+      }));
+    }
+    pool.wait_idle();
+    CHECK_EQ(sum.load(), std::uint64_t{500500});  // sum 1..1000
+  }
+}
+
+TEST(pool_worker_count_and_default_sizing) {
+  util::ThreadPool pool(3);
+  CHECK_EQ(pool.worker_count(), std::size_t{3});
+  util::ThreadPool defaulted;
+  CHECK(defaulted.worker_count() >= 1);
+}
+
+// Multi-producer enqueue racing the consumers: every task must run exactly
+// once regardless of which side wins each queue transition.
+TEST(pool_stress_concurrent_producers) {
+  constexpr std::size_t kProducers = 8;
+  constexpr std::size_t kPerProducer = 500;
+  std::atomic<std::size_t> ran{0};
+  util::ThreadPool pool(4);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &ran] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        CHECK(pool.submit([&ran] {
+          ran.fetch_add(1, std::memory_order_relaxed);
+        }));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  CHECK_EQ(ran.load(), kProducers * kPerProducer);
+}
+
+// wait_idle() must observe the whole drain, including tasks submitted by
+// other tasks while the wait is already in progress.
+TEST(pool_wait_idle_sees_nested_submissions) {
+  std::atomic<std::size_t> ran{0};
+  util::ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&pool, &ran] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  CHECK_EQ(ran.load(), std::size_t{100});
+}
+
+TEST(pool_latches_and_rethrows_first_exception) {
+  std::atomic<std::size_t> ran{0};
+  util::ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i % 10 == 3) throw std::runtime_error("task failure");
+    });
+  }
+  bool threw = false;
+  try {
+    pool.wait_idle();
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  CHECK(threw);
+  // A failure does not cancel the rest of the queue.
+  CHECK_EQ(ran.load(), std::size_t{100});
+
+  // The latch resets on rethrow: the pool stays usable and a clean batch
+  // waits idle without error.
+  std::atomic<std::size_t> second{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&second] { second.fetch_add(1, std::memory_order_relaxed); });
+  }
+  bool second_threw = false;
+  try {
+    pool.wait_idle();
+  } catch (...) {
+    second_threw = true;
+  }
+  CHECK(!second_threw);
+  CHECK_EQ(second.load(), std::size_t{20});
+}
+
+// Shutdown ordering: the destructor drains — every task already queued when
+// shutdown begins still runs before the workers exit.
+TEST(pool_destructor_drains_queue) {
+  std::atomic<std::size_t> ran{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&ran] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No wait_idle(): destruction must finish the work itself.
+  }
+  CHECK_EQ(ran.load(), std::size_t{200});
+}
+
+TEST(pool_rejects_after_shutdown_began) {
+  // A task that outlives the submitting scope observes rejection: the pool
+  // is destroyed first, then submit() on the dangling handle is not
+  // reachable — so model it with a task racing shutdown instead: the task
+  // itself tries to resubmit while the destructor may already be draining.
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  {
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&pool, &accepted, &rejected] {
+        if (pool.submit([] {})) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+  // All 50 outer tasks ran (drain guarantee); resubmissions before the
+  // destructor flipped stopping_ were accepted, later ones rejected — in
+  // either case nothing deadlocked and the counts add up.
+  CHECK_EQ(accepted.load() + rejected.load(), 50);
+}
+
+TEST_MAIN()
