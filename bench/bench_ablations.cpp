@@ -11,6 +11,13 @@
 #include "bench_util.hpp"
 #include "core/protocol.hpp"
 
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12 misreads std::optional<ScenarioSpec>'s engaged check once RunSpec's
+// destructor is fully inlined here and flags the (never-constructed) payload
+// as maybe-uninitialized. False positive; clang and newer GCC are clean.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 using namespace ringnet;
 
 namespace {

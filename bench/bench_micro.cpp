@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/message_queue.hpp"
+#include "core/protocol.hpp"
 #include "core/working_queue.hpp"
+#include "net/channel.hpp"
 #include "proto/messages.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulation.hpp"
@@ -114,6 +116,100 @@ void BM_TokenSerialize(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_TokenSerialize)->Arg(4)->Arg(32);
+
+void BM_TokenDecodeOwned(benchmark::State& state) {
+  // Relay-side cost of materializing a received token: full deserialize
+  // into an owned OrderingToken (vector<WtsnpEntry> allocation + copy),
+  // then one WTSNP lookup.
+  proto::OrderingToken token(GroupId{1}, 1);
+  for (int i = 0; i < state.range(0); ++i) {
+    token.append_range(NodeId{static_cast<std::uint32_t>(i)},
+                       NodeId{static_cast<std::uint32_t>(i)}, 0, 99);
+  }
+  proto::WireWriter w;
+  token.serialize(w);
+  const std::vector<std::uint8_t> bytes = w.take();
+  for (auto _ : state) {
+    proto::WireReader r(bytes);
+    auto decoded = proto::OrderingToken::deserialize(r);
+    benchmark::DoNotOptimize(decoded->lookup(NodeId{0}, 50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenDecodeOwned)->Arg(4)->Arg(32);
+
+void BM_TokenDecodeView(benchmark::State& state) {
+  // Same frame, zero-copy: TokenView::parse validates the length once and
+  // the lookup reads WTSNP rows in place — no per-hop entry vector.
+  proto::OrderingToken token(GroupId{1}, 1);
+  for (int i = 0; i < state.range(0); ++i) {
+    token.append_range(NodeId{static_cast<std::uint32_t>(i)},
+                       NodeId{static_cast<std::uint32_t>(i)}, 0, 99);
+  }
+  proto::WireWriter w;
+  token.serialize(w);
+  const std::vector<std::uint8_t> bytes = w.take();
+  for (auto _ : state) {
+    auto view = proto::TokenView::parse(bytes);
+    benchmark::DoNotOptimize(view->lookup(NodeId{0}, 50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenDecodeView)->Arg(4)->Arg(32);
+
+void BM_TokenForwardRing(benchmark::State& state) {
+  // The ordering loop with members and traffic stripped out: the token
+  // circulates an 8-BR ring, so each iteration pays token_arrive (serial
+  // check, rotation bump, WTSNP prune, empty WQ assign, next-hop pick) and
+  // the scheduler hop — the flat alive-ring/ring-pos hot path.
+  sim::Simulation sim(1);
+  core::ProtocolConfig cfg;
+  cfg.hierarchy.num_brs = 8;
+  cfg.hierarchy.ags_per_br = 1;
+  cfg.hierarchy.aps_per_ag = 1;
+  cfg.hierarchy.mhs_per_ap = 1;
+  cfg.hierarchy.wan = net::ChannelModel::wired_wan(0.0);
+  cfg.hierarchy.lan = net::ChannelModel::wired_lan(0.0);
+  cfg.hierarchy.wireless = net::ChannelModel::wireless(0.0);
+  cfg.num_sources = 1;
+  cfg.source.rate_hz = 0.0;  // no traffic: pure token machinery
+  cfg.record_deliveries = false;
+  core::RingNetProtocol proto(sim, cfg);
+  proto.start();
+  for (auto _ : state) {
+    sim.run_for(sim::msecs(50));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(sim.metrics().counter("token.held")));
+}
+BENCHMARK(BM_TokenForwardRing);
+
+void BM_DistributeBatchDeliver(benchmark::State& state) {
+  // The delivery fan-out path end to end: ordered batches distributed
+  // ring-wide, forwarded down 64-member subtrees and delivered in gseq
+  // order — dominated by forward_down + mh_receive + MQ store/deliver.
+  sim::Simulation sim(1);
+  core::ProtocolConfig cfg;
+  cfg.hierarchy.num_brs = 4;
+  cfg.hierarchy.ags_per_br = 1;
+  cfg.hierarchy.aps_per_ag = 8;
+  cfg.hierarchy.mhs_per_ap = 8;
+  cfg.hierarchy.wan = net::ChannelModel::wired_wan(0.0);
+  cfg.hierarchy.lan = net::ChannelModel::wired_lan(0.0);
+  cfg.hierarchy.wireless = net::ChannelModel::wireless(0.0);
+  cfg.num_sources = 8;
+  cfg.source.rate_hz = 400.0;
+  cfg.options.ack_period = sim::msecs(50);
+  cfg.record_deliveries = false;
+  core::RingNetProtocol proto(sim, cfg);
+  proto.start();
+  for (auto _ : state) {
+    sim.run_for(sim::msecs(10));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(sim.metrics().counter("mh.delivered")));
+}
+BENCHMARK(BM_DistributeBatchDeliver);
 
 void BM_DataMsgCodecRoundTrip(benchmark::State& state) {
   const proto::Message msg = make_data(123456789);

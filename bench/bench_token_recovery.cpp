@@ -70,7 +70,7 @@ RecoveryResult measure_recovery(std::size_t num_brs) {
 
   // Post-crash throughput at a surviving MH (first MH not under the
   // victim's subtree: MH index num_brs-1 is under the last BR).
-  const auto& mh = *proto.mhs().back();
+  const auto& mh = proto.mhs().back();
   out.post_crash_throughput =
       mh.last_delivery_at() > crash_time ? 1.0 : 0.0;
   return out;

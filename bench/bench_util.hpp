@@ -42,18 +42,22 @@ inline void print_header(const std::string& title, const std::string& claim) {
 ///   --scenario S   canned scenario name or ad-hoc parse_scenario() text
 ///   --smoke        short-run preset (run 1.6s — the smallest window that
 ///                  still covers every canned fault time with live sources)
+///   --shard N      run every sweep point on the domain-sharded parallel
+///                  engine with N worker threads (N=0: single-heap oracle
+///                  over the same domain plan)
 ///   --list         print the canned scenario catalogue and exit
 struct Options {
   std::optional<std::uint64_t> seed;
   std::optional<double> run_secs;
   std::optional<std::string> scenario;
+  std::optional<std::size_t> shard_threads;
   bool smoke = false;
 };
 
 [[noreturn]] inline void usage_and_exit(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--run SECONDS] [--scenario NAME|TEXT] "
-               "[--smoke] [--list]\n",
+               "[--shard THREADS] [--smoke] [--list]\n",
                prog);
   std::exit(2);
 }
@@ -83,6 +87,13 @@ inline Options parse_cli(int argc, char** argv) {
       }
     } else if (arg == "--scenario") {
       opts.scenario = value();
+    } else if (arg == "--shard") {
+      const std::string v = value();
+      char* end = nullptr;
+      opts.shard_threads = std::strtoull(v.c_str(), &end, 10);
+      if (v.empty() || v[0] == '-' || end == v.c_str() || *end != '\0') {
+        usage_and_exit(argv[0]);
+      }
     } else if (arg == "--smoke") {
       opts.smoke = true;
     } else if (arg == "--list") {
@@ -103,6 +114,10 @@ inline Options parse_cli(int argc, char** argv) {
 /// name) so every bench accepts the same `--scenario` vocabulary.
 inline void apply_cli(const Options& opts, baseline::RunSpec& spec) {
   if (opts.seed) spec.seed = *opts.seed;
+  if (opts.shard_threads) {
+    spec.shard = true;
+    spec.shard_threads = *opts.shard_threads;
+  }
   if (opts.smoke) {
     // The measured window must still cover every canned fault/churn event
     // time (latest: token-storm's second loss at 1.5s) with live sources,

@@ -38,6 +38,14 @@ struct RunSpec {
   // churn and faults over the run, and the scenario's traffic section (if
   // any) overrides config.source (see effective_config).
   std::optional<scenario::ScenarioSpec> scenario;
+  // Parallel execution. shard == true plans one domain per BR subtree with
+  // conservative lookahead equal to the WAN one-way latency floor; then
+  // shard_threads == 0 runs the single-heap deterministic oracle over the
+  // same domain keys, while shard_threads > 0 runs the domain-sharded
+  // parallel engine on that many pool workers. shard == false is the
+  // classic single-context simulation.
+  bool shard = false;
+  std::size_t shard_threads = 0;
 };
 
 struct RunResult {
@@ -87,6 +95,11 @@ using RunHook =
 /// expressed as degenerate hierarchies; unordered switches the ordering
 /// pass off).
 core::ProtocolConfig effective_config(const RunSpec& spec);
+
+/// Execution plan for the spec over its resolved config: one domain per BR
+/// with the WAN latency as lookahead when sharding is requested, the
+/// classic single-context plan otherwise.
+sim::ShardPlan shard_plan(const RunSpec& spec, const core::ProtocolConfig& cfg);
 
 RunResult run_experiment(const RunSpec& spec);
 RunResult run_experiment(const RunSpec& spec, const RunHook& hook);

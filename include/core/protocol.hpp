@@ -7,13 +7,25 @@
 // batched membership, heartbeat failure detection with ring repair and
 // Token-Regeneration, smooth-handoff mobility, and the metrics/trace hooks
 // the experiment benches read.
+//
+// Hot-path state is dense-indexed: NodeId indices are contiguous per tier,
+// so per-BR / per-MH / per-AP lookups are vector indexes, not hash probes.
+// The only dynamic-keyed hot map left (per-link loss processes) is an
+// open-addressing FlatHash per execution context.
+//
+// When the owning Simulation is planned with domains (one per BR subtree),
+// every scheduled event names its target context explicitly: subtree-local
+// work (uplink staging, downlink delivery, acks, resync) runs in the
+// serving BR's domain, while ring-wide work (token hops, membership relay,
+// heartbeats/repair, mobility, faults, archive) runs in the serialized
+// global context. The same code runs identically on the single-heap oracle
+// and the sharded engine — that is the equivalence the tests assert.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
-#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -26,17 +38,21 @@
 #include "sim/simulation.hpp"
 #include "stats/histogram.hpp"
 #include "topo/hierarchy.hpp"
+#include "util/flat_hash.hpp"
 
 namespace ringnet::core {
 
 /// A border router's eventually-consistent view of group membership
 /// (mh -> serving AP), maintained through the batched update scheme.
 /// Per-MH event sequence numbers make relayed applications idempotent and
-/// reordering-safe.
+/// reordering-safe. Dense-indexed by MH index.
 class GroupView {
  public:
+  void reset(std::size_t n_mhs) { state_.assign(n_mhs, Slot{}); }
+
   void apply(NodeId mh, NodeId ap, std::uint64_t seq) {
-    auto& slot = state_[mh];
+    if (mh.index() >= state_.size()) state_.resize(mh.index() + 1);
+    Slot& slot = state_[mh.index()];
     if (seq < slot.seq) return;
     slot.seq = seq;
     slot.ap = ap;
@@ -44,17 +60,17 @@ class GroupView {
 
   std::size_t member_count() const {
     std::size_t n = 0;
-    for (const auto& [mh, slot] : state_) {
-      (void)mh;
+    for (const Slot& slot : state_) {
       if (slot.ap.valid()) ++n;
     }
     return n;
   }
 
   std::optional<NodeId> ap_of(NodeId mh) const {
-    const auto it = state_.find(mh);
-    if (it == state_.end() || !it->second.ap.valid()) return std::nullopt;
-    return it->second.ap;
+    if (mh.index() >= state_.size() || !state_[mh.index()].ap.valid()) {
+      return std::nullopt;
+    }
+    return state_[mh.index()].ap;
   }
 
  private:
@@ -62,18 +78,28 @@ class GroupView {
     NodeId ap = NodeId::invalid();
     std::uint64_t seq = 0;
   };
-  std::unordered_map<NodeId, Slot> state_;
+  std::vector<Slot> state_;
 };
 
 /// Per-delivery record used to verify the protocol's core guarantee: every
-/// member observes the same total order.
+/// member observes the same total order. Dense-indexed by MH index.
 class DeliveryLog {
  public:
-  void record(NodeId mh, GlobalSeq gseq, NodeId source, LocalSeq lseq) {
-    per_mh_[mh].push_back(Rec{gseq, source, lseq});
+  void reset(const std::vector<NodeId>& mhs) {
+    ids_ = mhs;
+    per_mh_.assign(mhs.size(), {});
   }
 
-  bool empty() const { return per_mh_.empty(); }
+  void record(NodeId mh, GlobalSeq gseq, NodeId source, LocalSeq lseq) {
+    per_mh_[mh.index()].push_back(Rec{gseq, source, lseq});
+  }
+
+  bool empty() const {
+    for (const auto& recs : per_mh_) {
+      if (!recs.empty()) return false;
+    }
+    return true;
+  }
 
   /// nullopt when the log is violation-free: per-member gseq sequences are
   /// strictly increasing and every member agrees on which (source, lseq)
@@ -86,7 +112,8 @@ class DeliveryLog {
     NodeId source;
     LocalSeq lseq;
   };
-  std::unordered_map<NodeId, std::vector<Rec>> per_mh_;
+  std::vector<NodeId> ids_;  // index -> NodeId, for diagnostics
+  std::vector<std::vector<Rec>> per_mh_;
 };
 
 class RingNetProtocol;
@@ -149,6 +176,7 @@ class MhNode {
   MessageQueue mq_{4};  // reorder buffer; tiny retention for dedupe
   std::unordered_set<std::uint64_t> seen_unordered_;
   std::uint64_t delivered_ = 0;
+  std::uint64_t ack_gen_ = 0;  // live ack-tick chain (bumps kill old chains)
   sim::SimTime last_delivery_ = sim::SimTime::zero();
 };
 
@@ -178,7 +206,6 @@ class BrNode {
   WorkingQueue wq_;
   MessageQueue mq_;
   GroupView view_;
-  std::unordered_map<NodeId, GlobalSeq> member_wm_;  // next-expected per MH
   GlobalSeq acked_floor_ = 0;  // gseqs below are subtree-acked in mq_
   std::vector<MemberEvent> pending_membership_;
   sim::SimTime last_hb_from_prev_ = sim::SimTime::zero();
@@ -245,18 +272,21 @@ class RingNetProtocol {
   /// Members recover through ack-driven resync once the window lifts.
   void set_cell_blackout(NodeId ap, bool on);
   bool cell_blacked_out(NodeId ap) const {
-    return !cell_blackout_.empty() && cell_blackout_.count(ap) != 0;
+    return blackout_count_ != 0 && cell_blackout_[ap.index()] != 0;
   }
 
   const topo::Topology& topology() const { return topo_; }
   const ProtocolConfig& config() const { return config_; }
-  BrNode& node(NodeId id) { return *brs_.at(id); }
-  const std::vector<std::unique_ptr<MhNode>>& mhs() const { return mh_list_; }
+  BrNode& node(NodeId id) { return brs_[id.index()]; }
+  const std::vector<MhNode>& mhs() const { return mhs_; }
   MobilityModel& mobility() { return mobility_; }
   const DeliveryLog& deliveries() const { return deliveries_; }
 
-  std::uint64_t total_sent() const { return total_sent_; }
-  const stats::Histogram& lat_hist() const { return lat_hist_; }
+  std::uint64_t total_sent() const {
+    return total_sent_.load(std::memory_order_relaxed);
+  }
+  /// End-to-end latency histogram, merged over execution contexts.
+  stats::Histogram lat_hist() const;
   const stats::Histogram& assign_hist() const { return assign_hist_; }
 
   /// Bounded-memory observability (Theorem 5.1 soak assertions).
@@ -268,7 +298,9 @@ class RingNetProtocol {
     for (const auto& s : sources_) n += s.submit_log.retained();
     return n;
   }
-  std::size_t submit_log_peak() const { return submit_log_peak_; }
+  std::size_t submit_log_peak() const {
+    return submit_log_peak_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct SourceState {
@@ -276,6 +308,7 @@ class RingNetProtocol {
     NodeId source_id;  // tier-less id carried in DataMsg.source
     NodeId mh;
     LocalSeq next_lseq = 0;
+    std::uint64_t gen = 0;  // live tick chain (bumps kill old chains)
     std::deque<proto::DataMsg> parked;  // submitted while detached
     SubmitLog submit_log;  // lseq -> submit time, watermark-pruned
     double weight = 1.0;  // sender_skew rate multiplier (mean 1)
@@ -287,9 +320,18 @@ class RingNetProtocol {
     sim::SimTime mmpp_until = sim::SimTime::zero();  // state dwell deadline
   };
 
+  // --- context routing ----------------------------------------------------
+  sim::Domain gdom() const { return sim_.global_domain(); }
+  sim::Domain br_domain(NodeId br) const {
+    return migrate_ ? static_cast<sim::Domain>(br.index()) : gdom();
+  }
+  BrNode& br_at(NodeId id) { return brs_[id.index()]; }
+  MhNode& mh_at(NodeId id) { return mhs_[id.index()]; }
+
   // --- wiring -------------------------------------------------------------
   void start_sources();
-  void source_tick(std::size_t idx);
+  void spawn_source_chain(std::size_t idx, sim::SimTime delay);
+  void source_tick(std::size_t idx, std::uint64_t gen);
   sim::SimTime next_submit_interval(SourceState& src);
   void submit(SourceState& src, proto::DataMsg msg);
   void uplink_to_br(const proto::DataMsg& msg, NodeId mh);
@@ -304,7 +346,8 @@ class RingNetProtocol {
   void deliver_at_mh(MhNode& node, const proto::DataMsg& msg);
 
   // --- acks / repair ------------------------------------------------------
-  void ack_tick(NodeId mh);
+  void spawn_ack_chain(NodeId mh, sim::SimTime delay);
+  void ack_tick(NodeId mh, std::uint64_t gen);
   void br_receive_ack(NodeId br, NodeId mh, GlobalSeq next_expected);
 
   // --- membership ---------------------------------------------------------
@@ -339,6 +382,7 @@ class RingNetProtocol {
   sim::SimTime uplink_delay(NodeId mh, std::uint32_t bytes);
   sim::SimTime downlink_delay(NodeId mh, std::uint32_t bytes);
   void note_wq_depth(const BrNode& br);
+  void note_submit_log_depth(std::size_t retained);
   void mark_acked(BrNode& br);
   void advance_global_floor();
   void prune_archive();
@@ -353,6 +397,7 @@ class RingNetProtocol {
   sim::Simulation& sim_;
   ProtocolConfig config_;
   topo::Topology topo_;
+  bool migrate_;  // domain-planned simulation: per-subtree contexts exist
 
   // Pre-interned handles for every metric touched on a per-message or
   // per-tick path: incr/gauge_max through these is a vector index, not a
@@ -368,28 +413,39 @@ class RingNetProtocol {
   };
   MetricIds mid_;
 
-  std::unordered_map<NodeId, std::unique_ptr<BrNode>> brs_;
-  std::vector<std::unique_ptr<MhNode>> mh_list_;
-  std::unordered_map<NodeId, MhNode*> mh_by_id_;
-  std::unordered_map<NodeId, std::vector<NodeId>> br_members_;  // attached
+  static constexpr std::size_t kNoRingPos = static_cast<std::size_t>(-1);
+
+  // Dense per-tier state, indexed by NodeId::index() within each tier.
+  std::vector<BrNode> brs_;                      // by BR index
+  std::vector<MhNode> mhs_;                      // by MH index
+  std::vector<std::vector<NodeId>> br_members_;  // by BR index: attached MHs
+  std::vector<GlobalSeq> member_wm_;   // by MH index: next-expected watermark
+  std::vector<NodeId> member_br_;      // by MH index: serving BR (invalid =
+                                       // not currently a member anywhere)
+  std::vector<sim::Domain> mh_domain_;  // by MH index: owning exec context
   std::vector<SourceState> sources_;
-  std::unordered_map<NodeId, std::vector<std::size_t>> sources_on_mh_;
+  std::vector<std::vector<std::uint32_t>> sources_on_mh_;  // by MH index
 
   std::vector<NodeId> alive_ring_;  // current top ring (repairs shrink it)
-  // Maintained position indexes over the rings/cells so the per-token and
-  // per-heartbeat hot paths stay O(1) instead of O(ring) linear scans.
-  std::unordered_map<NodeId, std::size_t> ring_pos_;      // alive_ring_ index
-  std::unordered_map<NodeId, std::size_t> top_ring_pos_;  // original ring
-  std::unordered_map<NodeId, std::size_t> ap_pos_;        // topo_.aps index
-  std::unordered_map<NodeId, std::size_t> ap_occupancy_;  // attached MHs
+  std::vector<std::size_t> ring_pos_;  // by BR index; kNoRingPos = ejected
+  std::vector<std::uint32_t> ap_occupancy_;  // by AP index: attached MHs
+  std::vector<std::uint8_t> cell_blackout_;  // by AP index
+  std::size_t blackout_count_ = 0;
+  // Tree-path caches so the per-message delay math never descends the
+  // topology's NodeDesc hash map.
+  std::vector<NodeId> ap_ag_;  // by AP index: parent AG
+  std::vector<NodeId> ap_br_;  // by AP index: subtree BR
+  std::vector<NodeId> ag_br_;  // by AG index: parent BR
   MobilityModel mobility_;
   DeliveryLog deliveries_;
-  stats::Histogram lat_hist_;     // end-to-end, microseconds
+  std::vector<stats::Histogram> lat_hists_;  // per ctx; end-to-end, usec
   stats::Histogram assign_hist_;  // submit -> gseq assignment, microseconds
 
-  std::unordered_map<net::LinkKey, net::LossProcess> loss_;
-  std::unordered_map<NodeId, std::uint64_t> membership_seq_;
-  std::unordered_set<NodeId> cell_blackout_;  // APs with a dark cell
+  // Per-context loss processes: link keys are dynamic (they include MH
+  // ids), so this stays a hash map — but flat and context-local, which
+  // keeps the probe in-cache and the draw thread-safe under sharding.
+  std::vector<util::FlatHash<net::LinkKey, net::LossProcess>> loss_;
+  std::vector<std::uint64_t> membership_seq_;  // by MH index
   std::unordered_set<std::uint64_t> lost_serials_;  // token frames lost in
                                                     // transit (lose_token)
   // Every assigned message not yet pruned (+ assignment time) — the
@@ -406,9 +462,9 @@ class RingNetProtocol {
   GlobalSeq archive_base_ = 0;  // gseq of assigned_archive_.front()
   GlobalSeq global_acked_floor_ = 0;  // min acked_floor_ over alive BRs
   std::size_t archive_peak_ = 0;
-  std::size_t submit_log_peak_ = 0;
+  std::atomic<std::size_t> submit_log_peak_{0};
 
-  std::uint64_t total_sent_ = 0;
+  std::atomic<std::uint64_t> total_sent_{0};
   bool sources_running_ = false;
   bool started_ = false;
 

@@ -72,6 +72,7 @@ struct ChannelModel {
 /// and whose bad-state dwell time averages burst_mean_len packets.
 class LossProcess {
  public:
+  LossProcess() = default;  // lossless default (flat-map slot requirement)
   explicit LossProcess(const ChannelModel& model) : model_(model) {}
 
   bool lost(util::Rng& rng) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "sim/time.hpp"
 
 namespace ringnet::proto {
 
@@ -102,6 +103,10 @@ struct DataMsg {
   GlobalSeq gseq = 0;
   std::uint64_t epoch = 0;
   std::uint32_t payload_size = 0;
+  // Simulator-side bookkeeping, never serialized: stamped at submit() so
+  // latency accounting reads the message instead of the (possibly remote)
+  // source's submit log.
+  sim::SimTime submit_at = sim::SimTime::zero();
 };
 
 /// Periodic delivery watermark from an MH up its tree path: "I have
@@ -183,6 +188,46 @@ class OrderingToken {
   std::uint64_t rotation_ = 0;  // completed trips around the ring
   GlobalSeq next_gseq_ = 0;
   std::vector<WtsnpEntry> entries_;
+};
+
+/// Zero-copy view over a serialized OrderingToken body. parse() validates
+/// the length once; header fields are decoded eagerly but the WTSNP rows
+/// stay in the borrowed buffer and are read in place on demand, so a
+/// relay/lookup pass over a token frame never materializes a
+/// vector<WtsnpEntry>. The view borrows the buffer: it must not outlive it.
+class TokenView {
+ public:
+  /// Parse a token *body* (the layout OrderingToken::serialize writes,
+  /// without the 1-byte envelope tag). nullopt on truncation or a row
+  /// count that disagrees with the buffer length.
+  static std::optional<TokenView> parse(const std::uint8_t* data,
+                                        std::size_t size);
+  static std::optional<TokenView> parse(const std::vector<std::uint8_t>& buf) {
+    return parse(buf.data(), buf.size());
+  }
+
+  GroupId gid() const { return gid_; }
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t serial() const { return serial_; }
+  std::uint64_t rotation() const { return rotation_; }
+  GlobalSeq next_gseq() const { return next_gseq_; }
+  std::size_t entry_count() const { return entry_count_; }
+
+  /// Decode row `i` in place (no bounds check beyond the parse-time one).
+  WtsnpEntry entry(std::size_t i) const;
+
+  /// Same newest-first supersession rule as OrderingToken::lookup, without
+  /// deserializing the table.
+  std::optional<GlobalSeq> lookup(NodeId source, LocalSeq lseq) const;
+
+ private:
+  const std::uint8_t* rows_ = nullptr;  // first WTSNP row
+  std::size_t entry_count_ = 0;
+  GroupId gid_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t serial_ = 0;
+  std::uint64_t rotation_ = 0;
+  GlobalSeq next_gseq_ = 0;
 };
 
 // ---------------------------------------------------------------------------

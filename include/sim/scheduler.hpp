@@ -1,29 +1,50 @@
 #pragma once
-// Event-heap scheduler. Events at equal timestamps run in insertion order
-// (a monotone sequence number breaks ties), which is what makes whole-run
-// determinism possible: the heap never observes platform-dependent ordering.
+// Single-heap event scheduler: the deterministic oracle. Events are
+// ordered by the mode-independent key K = (at, src_domain, src_seq) from
+// event_heap.hpp, so a run here executes the exact event sequence the
+// domain-sharded engine executes in parallel — that is what the
+// sharded-vs-oracle equivalence tests lean on. A non-sharded scheduler
+// (domains == 0) has a single context and degenerates to the classic
+// "timestamp, then FIFO" order.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "sim/event_heap.hpp"
 #include "sim/time.hpp"
 
 namespace ringnet::sim {
 
 class Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = sim::Action;
 
+  /// `domains` parallel-capable contexts + one global context (index
+  /// `domains`). The default is the classic single-context scheduler.
+  explicit Scheduler(Domain domains = 0)
+      : global_(domains), seq_(static_cast<std::size_t>(domains) + 1, 0) {}
+
+  Domain global_domain() const { return global_; }
+
+  /// Schedule into `target`'s context. The key is stamped from the
+  /// currently-executing context (global when called from outside a run).
+  void schedule(Domain target, SimTime t, Action action) {
+    const Domain src = tls_exec_ctx ? tls_exec_ctx->domain : global_;
+    heap_.push(Event{EventKey{t, src, seq_[src]++}, target,
+                     std::move(action)});
+  }
+
+  /// Context-oblivious schedule: runs in whichever context scheduled it.
   void schedule_at(SimTime t, Action action) {
-    heap_.push(Event{t, next_seq_++, std::move(action)});
+    const Domain src = tls_exec_ctx ? tls_exec_ctx->domain : global_;
+    schedule(src, t, std::move(action));
   }
 
   SimTime now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
 
   /// Run every pending event (including ones scheduled while running).
   void run_to_completion() {
@@ -33,35 +54,25 @@ class Scheduler {
   /// Run all events with timestamp <= `until`, then advance `now` to
   /// `until` even if the heap still holds later events.
   void run_until(SimTime until) {
-    while (!heap_.empty() && heap_.top().at <= until) pop_and_run();
+    while (!heap_.empty() && heap_.top_key().at <= until) pop_and_run();
     if (until > now_) now_ = until;
   }
 
  private:
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return b.at < a.at;
-      return b.seq < a.seq;  // FIFO among equal timestamps
-    }
-  };
-
   void pop_and_run() {
-    // std::priority_queue::top() is const; the action must be moved out
-    // before pop so re-entrant schedule_at calls see a consistent heap.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    if (ev.at > now_) now_ = ev.at;
+    Event ev = heap_.pop_min();
+    if (ev.key.at > now_) now_ = ev.key.at;
+    ++executed_;
+    ExecContext ctx{ev.target, now_};
+    ExecScope scope(&ctx);
     ev.action();
   }
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  EventHeap heap_;
+  Domain global_;
+  std::vector<std::uint64_t> seq_;  // per-context schedule counters
   SimTime now_ = SimTime::zero();
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
 };
 
 }  // namespace ringnet::sim

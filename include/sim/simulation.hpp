@@ -1,11 +1,21 @@
 #pragma once
 // Simulation: the deterministic world one experiment runs in — an event
-// scheduler, a seeded RNG, a metrics registry (counters + high-watermark
-// gauges) and an optional structured trace. Protocol code never touches
-// wall-clock time or global RNG state, only this object.
+// scheduler, seeded RNG streams, a metrics registry (counters + high-
+// watermark gauges) and optional structured traces. Protocol code never
+// touches wall-clock time or global RNG state, only this object.
+//
+// A Simulation can be planned with execution contexts ("domains", one per
+// BR subtree, plus a serialized global context). rng(), trace() and now()
+// route to the currently-executing context, so the same protocol code runs
+// unchanged on the single-heap oracle Scheduler (threads == 0) or the
+// domain-sharded parallel engine (threads > 0) — and, because both engines
+// execute the identical per-context event order with identical per-context
+// RNG streams, the two modes produce identical delivery traces.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +23,7 @@
 
 #include "core/types.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/sharded_scheduler.hpp"
 #include "sim/time.hpp"
 #include "util/rng.hpp"
 
@@ -101,85 +112,197 @@ class Trace {
 };
 
 /// Counters and high-watermark gauges. Names are interned once into dense
-/// handles; hot paths hold a MetricId and every incr/gauge_max is a vector
-/// index, not a string-keyed tree lookup. The string-keyed overloads remain
-/// for cold paths (benches, tests, result distillation).
+/// handles; hot paths hold a MetricId and every incr/gauge_max is an atomic
+/// vector slot, not a string-keyed tree lookup. Mutation is thread-safe
+/// (relaxed increments, CAS-max gauges) so parallel shards share one
+/// registry: additions commute and maxima are order-free, which keeps the
+/// totals identical between the sharded and single-heap engines. intern()
+/// itself is serial-phase only (construction / cold paths).
 class Metrics {
  public:
   using MetricId = std::uint32_t;
+
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
 
   /// Idempotent: interning the same name again returns the same handle.
   MetricId intern(const std::string& name) {
     const auto [it, inserted] =
         ids_.emplace(name, static_cast<MetricId>(counters_.size()));
     if (inserted) {
-      counters_.push_back(0);
-      gauges_.push_back(0.0);
+      counters_.emplace_back(0);
+      gauges_.emplace_back(0.0);
     }
     return it->second;
   }
 
-  void incr(MetricId id, std::uint64_t delta = 1) { counters_[id] += delta; }
-  std::uint64_t counter(MetricId id) const { return counters_[id]; }
+  void incr(MetricId id, std::uint64_t delta = 1) {
+    counters_[id].fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t counter(MetricId id) const {
+    return counters_[id].load(std::memory_order_relaxed);
+  }
 
   /// Record an observation; the gauge keeps the maximum ever seen.
   void gauge_max(MetricId id, double value) {
-    if (value > gauges_[id]) gauges_[id] = value;
+    std::atomic<double>& g = gauges_[id];
+    double cur = g.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !g.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
   }
-  double gauge(MetricId id) const { return gauges_[id]; }
+  double gauge(MetricId id) const {
+    return gauges_[id].load(std::memory_order_relaxed);
+  }
 
   void incr(const std::string& name, std::uint64_t delta = 1) {
     incr(intern(name), delta);
   }
   std::uint64_t counter(const std::string& name) const {
     const auto it = ids_.find(name);
-    return it == ids_.end() ? 0 : counters_[it->second];
+    return it == ids_.end() ? 0 : counter(it->second);
   }
   void gauge_max(const std::string& name, double value) {
     gauge_max(intern(name), value);
   }
   double gauge(const std::string& name) const {
     const auto it = ids_.find(name);
-    return it == ids_.end() ? 0.0 : gauges_[it->second];
+    return it == ids_.end() ? 0.0 : gauge(it->second);
   }
 
  private:
   std::unordered_map<std::string, MetricId> ids_;
-  std::vector<std::uint64_t> counters_;
-  std::vector<double> gauges_;
+  // Deques: slot references stay valid across intern() growth.
+  std::deque<std::atomic<std::uint64_t>> counters_;
+  std::deque<std::atomic<double>> gauges_;
+};
+
+/// Execution plan for a Simulation. domains == 0 is the classic
+/// single-context simulation. With domains > 0, threads selects the
+/// engine: 0 runs the single-heap deterministic oracle (same contexts,
+/// same event keys, serial execution); > 0 runs the domain-sharded
+/// conservative-lookahead engine on that many pool workers.
+struct ShardPlan {
+  Domain domains = 0;
+  SimTime lookahead = msecs(5);  // inter-domain latency floor
+  std::size_t threads = 0;
 };
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+  explicit Simulation(std::uint64_t seed) : Simulation(seed, ShardPlan{}) {}
 
-  SimTime now() const { return scheduler_.now(); }
+  Simulation(std::uint64_t seed, ShardPlan plan)
+      : plan_(plan), seed_(seed), single_(plan.domains) {
+    const std::size_t n_ctx = static_cast<std::size_t>(plan.domains) + 1;
+    rngs_.reserve(n_ctx);
+    for (std::size_t i = 0; i < n_ctx; ++i) {
+      // The global context keeps the raw seed (bit-compatible with the
+      // pre-sharding single-stream simulation); shard streams split off
+      // with a fixed odd multiplier.
+      rngs_.emplace_back(i + 1 == n_ctx
+                             ? seed
+                             : seed ^ (0x9E3779B97F4A7C15ull * (i + 1)));
+    }
+    traces_.resize(n_ctx);
+    if (plan.domains > 0 && plan.threads > 0) {
+      sharded_ = std::make_unique<ShardedScheduler>(
+          plan.domains, plan.lookahead, plan.threads);
+    }
+  }
+
   std::uint64_t seed() const { return seed_; }
+  const ShardPlan& plan() const { return plan_; }
+  Domain domain_count() const { return plan_.domains; }
+  Domain global_domain() const { return plan_.domains; }
+  bool sharded() const { return sharded_ != nullptr; }
+  SimTime lookahead() const { return plan_.lookahead; }
 
-  Scheduler& scheduler() { return scheduler_; }
-  util::Rng& rng() { return rng_; }
-  Trace& trace() { return trace_; }
-  const Trace& trace() const { return trace_; }
+  /// The context currently executing (global when called between runs).
+  Domain current_ctx() const {
+    return tls_exec_ctx ? tls_exec_ctx->domain : global_domain();
+  }
+
+  SimTime now() const {
+    if (tls_exec_ctx) return tls_exec_ctx->now;
+    return sharded_ ? sharded_->now() : single_.now();
+  }
+
+  Scheduler& scheduler() { return single_; }
+  util::Rng& rng() { return rngs_[current_ctx()]; }
+  Trace& trace() { return traces_[current_ctx()]; }
+  const Trace& trace() const { return traces_[current_ctx()]; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
-  void at(SimTime t, Scheduler::Action action) {
-    scheduler_.schedule_at(t, std::move(action));
+  /// Every per-context trace (index global_domain() is the global one).
+  const std::vector<Trace>& traces() const { return traces_; }
+
+  /// Enable (and optionally cap) tracing in every context.
+  void enable_trace(std::size_t capacity = 0) {
+    for (auto& t : traces_) {
+      t.enable();
+      if (capacity != 0) t.set_capacity(capacity);
+    }
   }
-  void after(SimTime delay, Scheduler::Action action) {
-    scheduler_.schedule_at(scheduler_.now() + delay, std::move(action));
+
+  std::uint64_t executed_events() const {
+    return sharded_ ? sharded_->executed() : single_.executed();
+  }
+  std::size_t pending_events() const {
+    return sharded_ ? sharded_->pending() : single_.pending();
+  }
+
+  /// Schedule into the currently-executing context.
+  void at(SimTime t, Action action) {
+    if (sharded_) {
+      sharded_->schedule_at(t, std::move(action));
+    } else {
+      single_.schedule_at(t, std::move(action));
+    }
+  }
+  void after(SimTime delay, Action action) {
+    at(now() + delay, std::move(action));
+  }
+
+  /// Schedule into an explicit target context.
+  void at(Domain target, SimTime t, Action action) {
+    if (sharded_) {
+      sharded_->schedule(target, t, std::move(action));
+    } else {
+      single_.schedule(target, t, std::move(action));
+    }
+  }
+  void after(Domain target, SimTime delay, Action action) {
+    at(target, now() + delay, std::move(action));
   }
 
   /// Advance simulated time by `span`, running everything due in between.
-  void run_for(SimTime span) { scheduler_.run_until(scheduler_.now() + span); }
-  void run_to_completion() { scheduler_.run_to_completion(); }
+  void run_for(SimTime span) {
+    const SimTime until = now() + span;
+    if (sharded_) {
+      sharded_->run_until(until);
+    } else {
+      single_.run_until(until);
+    }
+  }
+  void run_to_completion() {
+    if (sharded_) {
+      sharded_->run_to_completion();
+    } else {
+      single_.run_to_completion();
+    }
+  }
 
  private:
-  Scheduler scheduler_;
-  util::Rng rng_;
-  Trace trace_;
-  Metrics metrics_;
+  ShardPlan plan_;
   std::uint64_t seed_;
+  Scheduler single_;
+  std::unique_ptr<ShardedScheduler> sharded_;
+  std::vector<util::Rng> rngs_;
+  std::vector<Trace> traces_;
+  Metrics metrics_;
 };
 
 }  // namespace ringnet::sim

@@ -48,6 +48,18 @@ class Histogram {
   std::uint64_t p90() const { return percentile(0.90); }
   std::uint64_t p99() const { return percentile(0.99); }
 
+  /// Fold another histogram's samples into this one (bucket-wise add).
+  /// Identical bucket layout means the merge is exact: quantiles of the
+  /// merged histogram equal quantiles over the union of the sample sets.
+  void merge_from(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+
  private:
   static constexpr std::size_t kSubBits = 6;  // 64 sub-buckets per octave
   static constexpr std::size_t kSub = 1u << kSubBits;

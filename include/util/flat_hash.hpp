@@ -1,0 +1,106 @@
+#pragma once
+// FlatHash: a minimal open-addressing hash map (linear probing, power-of-
+// two capacity, ~70% max load). The dynamic-key hot paths the protocol
+// keeps after the dense-index flattening — per-link loss processes above
+// all — want contiguous probe storage, not node-based buckets: one cache
+// line per lookup instead of a pointer chase per collision.
+//
+// Deliberately small API: find / find_or_emplace / size / clear / reserve.
+// No erase (the protocol's dynamic maps only grow), and references are
+// invalidated by rehash, so callers must not hold a mapped reference
+// across an insertion.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ringnet::util {
+
+inline std::uint64_t hash_mix64(std::uint64_t x) {
+  // splitmix64 finalizer: cheap and well-distributed for integer keys.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+template <typename K, typename V>
+class FlatHash {
+ public:
+  FlatHash() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = 16;
+    while (cap * 7 / 10 < n) cap *= 2;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  V* find(const K& key) {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_of(key, mask);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  const V* find(const K& key) const {
+    return const_cast<FlatHash*>(this)->find(key);
+  }
+
+  /// The mapped value for `key`, inserting `V(args...)` if absent.
+  template <typename... Args>
+  V& find_or_emplace(const K& key, Args&&... args) {
+    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = index_of(key, mask);
+    while (slots_[i].used) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    slots_[i].used = true;
+    slots_[i].key = key;
+    slots_[i].value = V(std::forward<Args>(args)...);
+    ++size_;
+    return slots_[i].value;
+  }
+
+ private:
+  struct Slot {
+    K key{};
+    V value{};
+    bool used = false;
+  };
+
+  static std::size_t index_of(const K& key, std::size_t mask) {
+    return static_cast<std::size_t>(
+               hash_mix64(static_cast<std::uint64_t>(key))) &
+           mask;
+  }
+
+  void rehash(std::size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    size_ = 0;
+    for (auto& s : old) {
+      if (s.used) find_or_emplace(s.key, std::move(s.value));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ringnet::util

@@ -52,13 +52,27 @@ core::ProtocolConfig effective_config(const RunSpec& spec) {
   return cfg;
 }
 
+sim::ShardPlan shard_plan(const RunSpec& spec,
+                          const core::ProtocolConfig& cfg) {
+  sim::ShardPlan plan;
+  if (!spec.shard) return plan;
+  plan.domains = static_cast<sim::Domain>(cfg.hierarchy.num_brs);
+  // Conservative lookahead: the parallel window must stay below the
+  // earliest possible cross-domain interaction, and every inter-domain hop
+  // rides the WAN, so its one-way latency is the floor.
+  plan.lookahead = std::max(cfg.hierarchy.wan.latency, sim::usecs(1));
+  plan.threads = spec.shard_threads;
+  return plan;
+}
+
 RunResult run_experiment(const RunSpec& spec) {
   return run_experiment(spec, RunHook{});
 }
 
 RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
-  sim::Simulation sim(spec.seed);
-  core::RingNetProtocol proto(sim, effective_config(spec));
+  const core::ProtocolConfig cfg = effective_config(spec);
+  sim::Simulation sim(spec.seed, shard_plan(spec, cfg));
+  core::RingNetProtocol proto(sim, cfg);
   proto.start();
   std::optional<scenario::Engine> engine;
   if (spec.scenario) {
@@ -83,7 +97,7 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
         static_cast<double>(n_mh) / active;
   }
 
-  const auto& lat = proto.lat_hist();
+  const auto lat = proto.lat_hist();
   out.lat_mean_us = lat.mean();
   out.lat_p50_us = lat.p50();
   out.lat_p90_us = lat.p90();
@@ -116,7 +130,7 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
   if (proto.total_sent() > 0) {
     double min_ratio = 1.0;
     for (const auto& mh : proto.mhs()) {
-      const double ratio = static_cast<double>(mh->delivered_count()) /
+      const double ratio = static_cast<double>(mh.delivered_count()) /
                            static_cast<double>(proto.total_sent());
       min_ratio = std::min(min_ratio, ratio);
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <unordered_map>
 #include <utility>
 
 namespace ringnet::core {
@@ -22,13 +24,13 @@ constexpr std::size_t kResendWindow = 128;
 
 std::optional<std::string> DeliveryLog::check_total_order() const {
   std::unordered_map<GlobalSeq, std::pair<NodeId, LocalSeq>> binding;
-  for (const auto& [mh, recs] : per_mh_) {
+  for (std::size_t i = 0; i < per_mh_.size(); ++i) {
     bool first = true;
     GlobalSeq prev = 0;
-    for (const auto& r : recs) {
+    for (const auto& r : per_mh_[i]) {
       if (!first && r.gseq <= prev) {
         return "non-increasing gseq " + std::to_string(r.gseq) + " after " +
-               std::to_string(prev) + " at " + to_string(mh);
+               std::to_string(prev) + " at " + to_string(ids_[i]);
       }
       first = false;
       prev = r.gseq;
@@ -37,8 +39,8 @@ std::optional<std::string> DeliveryLog::check_total_order() const {
       if (!inserted &&
           (it->second.first != r.source || it->second.second != r.lseq)) {
         return "gseq " + std::to_string(r.gseq) +
-               " bound to two different messages (seen at " + to_string(mh) +
-               ")";
+               " bound to two different messages (seen at " +
+               to_string(ids_[i]) + ")";
       }
     }
   }
@@ -51,38 +53,67 @@ std::optional<std::string> DeliveryLog::check_total_order() const {
 RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
     : sim_(sim),
       config_(std::move(config)),
-      topo_(topo::build_hierarchy(config_.hierarchy)) {
+      topo_(topo::build_hierarchy(config_.hierarchy)),
+      migrate_(sim.domain_count() > 0) {
+  // build_hierarchy assigns tier indices in emission order, so top_ring,
+  // aps and mhs are index-ordered and every per-tier table below can be a
+  // plain vector addressed by NodeId::index().
+  const std::size_t n_br = topo_.top_ring.size();
+  const std::size_t n_ap = topo_.aps.size();
+  const std::size_t n_mh = topo_.mhs.size();
+  const std::size_t n_ctx =
+      static_cast<std::size_t>(sim_.global_domain()) + 1;
+
+  brs_.reserve(n_br);
   for (NodeId br : topo_.top_ring) {
-    brs_.emplace(br,
-                 std::make_unique<BrNode>(br, config_.options.mq_retention));
-    br_members_.emplace(br, std::vector<NodeId>{});
-    top_ring_pos_.emplace(br, top_ring_pos_.size());
+    brs_.emplace_back(br, config_.options.mq_retention);
   }
+  br_members_.assign(n_br, {});
   alive_ring_ = topo_.top_ring;
   rebuild_ring_index();
-  for (NodeId ap : topo_.aps) ap_pos_.emplace(ap, ap_pos_.size());
 
-  for (NodeId mh : topo_.mhs) {
-    const NodeId ap = topo_.desc(mh).parent;
-    auto node = std::make_unique<MhNode>(mh, ap);
-    mh_by_id_.emplace(mh, node.get());
-    mh_list_.push_back(std::move(node));
-    const NodeId br = topo_.br_of(ap);
-    br_members_[br].push_back(mh);
-    brs_.at(br)->member_wm_.emplace(mh, 0);
-    ++ap_occupancy_[ap];
+  ap_occupancy_.assign(n_ap, 0);
+  cell_blackout_.assign(n_ap, 0);
+  ap_ag_.assign(n_ap, NodeId::invalid());
+  ap_br_.assign(n_ap, NodeId::invalid());
+  for (NodeId ap : topo_.aps) {
+    const NodeId ag = topo_.desc(ap).parent;
+    ap_ag_[ap.index()] = ag;
+    ap_br_[ap.index()] = topo_.br_of(ap);
+    if (ag.index() >= ag_br_.size()) {
+      ag_br_.resize(ag.index() + 1, NodeId::invalid());
+    }
+    ag_br_[ag.index()] = topo_.desc(ag).parent;
   }
 
+  mhs_.reserve(n_mh);
+  member_wm_.assign(n_mh, 0);
+  member_br_.assign(n_mh, NodeId::invalid());
+  mh_domain_.assign(n_mh, gdom());
+  sources_on_mh_.assign(n_mh, {});
+  membership_seq_.assign(n_mh, 0);
+  for (NodeId mh : topo_.mhs) {
+    const NodeId ap = topo_.desc(mh).parent;
+    mhs_.emplace_back(mh, ap);
+    const NodeId br = topo_.br_of(ap);
+    br_members_[br.index()].push_back(mh);
+    member_br_[mh.index()] = br;
+    mh_domain_[mh.index()] = br_domain(br);
+    ++ap_occupancy_[ap.index()];
+  }
+  deliveries_.reset(topo_.mhs);
+  lat_hists_.resize(n_ctx);
+  loss_.resize(n_ctx);
+
   // Every BR starts with a converged view: all MHs at their home AP.
-  for (auto& [id, br] : brs_) {
-    (void)id;
+  for (auto& br : brs_) {
+    br.view_.reset(n_mh);
     for (NodeId mh : topo_.mhs) {
-      br->view_.apply(mh, topo_.desc(mh).parent, 0);
+      br.view_.apply(mh, topo_.desc(mh).parent, 0);
     }
   }
 
   // Sources live on MHs, spread evenly across the population.
-  const std::size_t n_mh = topo_.mhs.size();
   sources_.reserve(config_.num_sources);
   for (std::size_t i = 0; i < config_.num_sources; ++i) {
     SourceState s;
@@ -90,7 +121,7 @@ RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
     s.source_id = NodeId{static_cast<std::uint32_t>(i)};
     s.mh = topo_.mhs[(i * n_mh) / std::max<std::size_t>(config_.num_sources,
                                                         1)];
-    sources_on_mh_[s.mh].push_back(i);
+    sources_on_mh_[s.mh.index()].push_back(static_cast<std::uint32_t>(i));
     sources_.push_back(std::move(s));
   }
 
@@ -146,12 +177,14 @@ void RingNetProtocol::start() {
   const auto& opt = config_.options;
 
   for (NodeId br : topo_.top_ring) {
-    brs_.at(br)->last_hb_from_prev_ = sim_.now();
+    brs_[br.index()].last_hb_from_prev_ = sim_.now();
     if (opt.tau > sim::SimTime::zero()) {
-      sim_.after(opt.tau, [this, br] { tau_tick(br); });
+      sim_.after(br_domain(br), opt.tau, [this, br] { tau_tick(br); });
     }
-    sim_.after(opt.membership_batch, [this, br] { membership_flush_tick(br); });
-    sim_.after(opt.heartbeat_period, [this, br] { heartbeat_tick(br); });
+    sim_.after(gdom(), opt.membership_batch,
+               [this, br] { membership_flush_tick(br); });
+    sim_.after(gdom(), opt.heartbeat_period,
+               [this, br] { heartbeat_tick(br); });
   }
 
   if (opt.ordered) {
@@ -159,14 +192,15 @@ void RingNetProtocol::start() {
     for (NodeId mh : topo_.mhs) {
       const sim::SimTime phase{(opt.ack_period.us * (stagger % 8)) / 8};
       ++stagger;
-      sim_.after(opt.ack_period + phase, [this, mh] { ack_tick(mh); });
+      spawn_ack_chain(mh, opt.ack_period + phase);
     }
     proto::OrderingToken token(kGroup, current_epoch_);
     token.set_serial(active_token_serial_);
     token_custodian_ = topo_.top_ring.front();
-    sim_.after(sim::usecs(1), [this, token = std::move(token)]() mutable {
-      token_arrive(token_custodian_, std::move(token));
-    });
+    sim_.after(gdom(), sim::usecs(1),
+               [this, token = std::move(token)]() mutable {
+                 token_arrive(token_custodian_, std::move(token));
+               });
   }
 
   start_sources();
@@ -186,15 +220,26 @@ void RingNetProtocol::start_sources() {
     const sim::SimTime phase{
         (period.us * static_cast<std::int64_t>(i + 1)) /
         static_cast<std::int64_t>(sources_.size() + 1)};
-    sim_.after(phase, [this, i] { source_tick(i); });
+    spawn_source_chain(i, phase);
   }
 }
 
 void RingNetProtocol::stop_sources() { sources_running_ = false; }
 
-void RingNetProtocol::source_tick(std::size_t idx) {
-  if (!sources_running_) return;
+void RingNetProtocol::spawn_source_chain(std::size_t idx, sim::SimTime delay) {
+  // The chain is pinned to the domain owning the source's MH at spawn time;
+  // a migration bumps the generation, killing the old chain at its next
+  // tick, and respawns into the new owner.
   SourceState& src = sources_[idx];
+  const std::uint64_t gen = src.gen;
+  sim_.after(mh_domain_[src.mh.index()], delay,
+             [this, idx, gen] { source_tick(idx, gen); });
+}
+
+void RingNetProtocol::source_tick(std::size_t idx, std::uint64_t gen) {
+  SourceState& src = sources_[idx];
+  if (gen != src.gen) return;  // superseded by a migration respawn
+  if (!sources_running_) return;
   proto::DataMsg msg;
   msg.gid = kGroup;
   msg.source = src.source_id;
@@ -205,7 +250,7 @@ void RingNetProtocol::source_tick(std::size_t idx) {
   // Floor at one tick: a zero interval (microsecond rounding at extreme
   // rates) would reschedule at the same timestamp forever.
   if (dt <= sim::SimTime::zero()) dt = sim::usecs(1);
-  sim_.after(dt, [this, idx] { source_tick(idx); });
+  sim_.after(dt, [this, idx, gen] { source_tick(idx, gen); });
 }
 
 sim::SimTime RingNetProtocol::next_submit_interval(SourceState& src) {
@@ -252,10 +297,11 @@ sim::SimTime RingNetProtocol::next_submit_interval(SourceState& src) {
 }
 
 void RingNetProtocol::submit(SourceState& src, proto::DataMsg msg) {
+  msg.submit_at = sim_.now();
   src.submit_log.push(sim_.now());
-  submit_log_peak_ = std::max(submit_log_peak_, src.submit_log.retained());
-  ++total_sent_;
-  MhNode& m = *mh_by_id_.at(src.mh);
+  note_submit_log_depth(src.submit_log.retained());
+  total_sent_.fetch_add(1, std::memory_order_relaxed);
+  MhNode& m = mhs_[src.mh.index()];
   if (!m.attached_) {
     src.parked.push_back(msg);
     if (src.parked.size() > config_.options.source_park_cap) {
@@ -269,7 +315,7 @@ void RingNetProtocol::submit(SourceState& src, proto::DataMsg msg) {
 }
 
 void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
-  MhNode& m = *mh_by_id_.at(mh);
+  MhNode& m = mhs_[mh.index()];
   if (cell_blacked_out(m.ap_)) {
     // The radio cannot reach the AP and there is no end-to-end source ARQ:
     // the submission is lost outright — unlike downlink drops, nothing
@@ -278,15 +324,15 @@ void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
     release_submit(msg);
     return;
   }
-  const NodeId br = topo_.br_of(m.ap_);
+  const NodeId br = ap_br_[m.ap_.index()];
   if (!br.valid()) {
     release_submit(msg);  // dropped before assignment: never archived
     return;
   }
   const sim::SimTime delay = uplink_delay(mh, data_bytes());
   if (config_.options.ordered) {
-    sim_.after(delay, [this, br, msg] {
-      BrNode& b = *brs_.at(br);
+    sim_.after(br_domain(br), delay, [this, br, msg] {
+      BrNode& b = brs_[br.index()];
       if (!b.alive_) {
         release_submit(msg);  // lost at a dead BR: never archived
         return;
@@ -300,8 +346,8 @@ void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
     });
   } else {
     // Remark 3 variant: no ordering pass — fan straight out of the BR tier.
-    sim_.after(delay, [this, br, msg] {
-      if (!brs_.at(br)->alive_) return;
+    sim_.after(br_domain(br), delay, [this, br, msg] {
+      if (!brs_[br.index()].alive_) return;
       std::vector<proto::DataMsg> batch{msg};
       distribute(br, batch);
     });
@@ -312,7 +358,7 @@ void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
 // Ordering
 
 void RingNetProtocol::tau_tick(NodeId br) {
-  BrNode& b = *brs_.at(br);
+  BrNode& b = brs_[br.index()];
   if (b.alive_) {
     while (!b.staging_.empty()) {
       b.wq_.add(b.staging_.front());
@@ -330,7 +376,7 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
     sim_.metrics().incr(mid_.token_dropped);
     return;
   }
-  BrNode& b = *brs_.at(br);
+  BrNode& b = brs_[br.index()];
   if (!b.alive_) {
     // The token reached a crashed node and is gone; topology maintenance
     // will notice via heartbeats and signal Token-Loss.
@@ -367,6 +413,8 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
 
   for (const auto& m : batch) {
     if (m.source.index() < sources_.size()) {
+      // Token hops are barrier points: every earlier submit has run, so
+      // the (domain-owned) submit log is safe to read here in both modes.
       const auto at = sources_[m.source.index()].submit_log.get(m.lseq);
       if (at) {
         assign_hist_.record(static_cast<std::uint64_t>((sim_.now() - *at).us));
@@ -382,10 +430,17 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
     archive_peak_ = std::max(archive_peak_, assigned_archive_.size());
     sim_.metrics().gauge_max(mid_.buf_archive_peak,
                              static_cast<double>(assigned_archive_.size()));
-    sim_.metrics().gauge_max(mid_.buf_submitlog_peak,
-                             static_cast<double>(submit_log_peak_));
+    sim_.metrics().gauge_max(
+        mid_.buf_submitlog_peak,
+        static_cast<double>(
+            submit_log_peak_.load(std::memory_order_relaxed)));
     distribute(br, batch);
   }
+
+  // Under domain sharding the subtree-acked floors advance inside their
+  // domains; fold them into the global watermark at this serialization
+  // point instead of on every ack.
+  if (migrate_) advance_global_floor();
 
   const NodeId next = next_alive_br(br);
   if (!next.valid()) return;  // ring fully gone
@@ -412,7 +467,7 @@ void RingNetProtocol::distribute(NodeId origin,
   // if a false-positive ejection removed it from alive_ring_.
   for (const auto& m : batch) br_receive_ordered(origin, m);
   if (alive_ring_.empty() ||
-      (alive_ring_.size() == 1 && ring_pos_.count(origin) != 0)) {
+      (alive_ring_.size() == 1 && ring_pos_[origin.index()] != kNoRingPos)) {
     return;
   }
   // One frame (and one scheduled event) per destination carries the whole
@@ -425,14 +480,14 @@ void RingNetProtocol::distribute(NodeId origin,
     if (br == origin) continue;
     const sim::SimTime delay = hop_delay(
         config_.hierarchy.wan, net::link_key(origin, br), frame_bytes);
-    sim_.after(delay, [this, br, frame] {
+    sim_.after(br_domain(br), delay, [this, br, frame] {
       for (const auto& m : *frame) br_receive_ordered(br, m);
     });
   }
 }
 
 void RingNetProtocol::br_receive_ordered(NodeId br, const proto::DataMsg& msg) {
-  BrNode& b = *brs_.at(br);
+  BrNode& b = brs_[br.index()];
   if (!b.alive_) return;
   if (config_.options.ordered) {
     if (!b.mq_.store(msg, sim_.now())) return;  // duplicate
@@ -441,7 +496,7 @@ void RingNetProtocol::br_receive_ordered(NodeId br, const proto::DataMsg& msg) {
     // With no members there are no acks to drive pruning: advance the
     // retention window once enough arrivals pile up (amortized, so the
     // per-message path stays O(1)) to keep an empty BR's MQ bounded.
-    if (b.member_wm_.empty() &&
+    if (br_members_[br.index()].empty() &&
         b.mq_.size() > 2 * config_.options.mq_retention + 64) {
       mark_acked(b);
     }
@@ -450,8 +505,9 @@ void RingNetProtocol::br_receive_ordered(NodeId br, const proto::DataMsg& msg) {
 }
 
 void RingNetProtocol::forward_down(NodeId br, const proto::DataMsg& msg) {
-  for (NodeId mh : br_members_.at(br)) {
-    MhNode& m = *mh_by_id_.at(mh);
+  const sim::Domain dom = br_domain(br);
+  for (NodeId mh : br_members_[br.index()]) {
+    MhNode& m = mhs_[mh.index()];
     if (!m.attached_) continue;
     if (cell_blacked_out(m.ap_)) {
       // The AP's radio is dark: the frame is dropped at the cell edge and
@@ -460,14 +516,18 @@ void RingNetProtocol::forward_down(NodeId br, const proto::DataMsg& msg) {
       continue;
     }
     const sim::SimTime delay = downlink_delay(mh, data_bytes());
-    sim_.after(delay, [this, mh, msg] { mh_receive(mh, msg, false); });
+    sim_.after(dom, delay, [this, mh, msg] { mh_receive(mh, msg, false); });
   }
 }
 
 void RingNetProtocol::mh_receive(NodeId mh, const proto::DataMsg& msg,
                                  bool retransmission) {
   (void)retransmission;
-  MhNode& m = *mh_by_id_.at(mh);
+  MhNode& m = mhs_[mh.index()];
+  // Ownership guard: a frame scheduled before the MH migrated to another
+  // subtree arrives in the old domain; it missed (resync repairs it).
+  // Trivially true without sharding (both sides are context 0).
+  if (sim_.current_ctx() != mh_domain_[mh.index()]) return;
   if (!m.attached_) return;  // missed; recovered via ack-driven resend
   if (cell_blacked_out(m.ap_)) {
     // Covers frames (and ARQ resends) already in flight when the window
@@ -494,10 +554,16 @@ void RingNetProtocol::deliver_at_mh(MhNode& node, const proto::DataMsg& msg) {
   node.last_delivery_ = sim_.now();
   sim_.metrics().incr(mid_.mh_delivered);
   sim_.trace().record(sim::TraceKind::Deliver, sim_.now(), node.id_, msg.gseq);
-  if (msg.source.index() < sources_.size()) {
+  if (migrate_) {
+    // The submit stamp rides the message, so cross-domain deliveries never
+    // read another domain's (live) submit log.
+    lat_hists_[sim_.current_ctx()].record(
+        static_cast<std::uint64_t>((sim_.now() - msg.submit_at).us));
+  } else if (msg.source.index() < sources_.size()) {
     const auto at = sources_[msg.source.index()].submit_log.get(msg.lseq);
     if (at) {
-      lat_hist_.record(static_cast<std::uint64_t>((sim_.now() - *at).us));
+      lat_hists_[0].record(
+          static_cast<std::uint64_t>((sim_.now() - *at).us));
     }
   }
   if (config_.record_deliveries && config_.options.ordered) {
@@ -505,16 +571,31 @@ void RingNetProtocol::deliver_at_mh(MhNode& node, const proto::DataMsg& msg) {
   }
 }
 
+stats::Histogram RingNetProtocol::lat_hist() const {
+  stats::Histogram merged;
+  for (const auto& h : lat_hists_) merged.merge_from(h);
+  return merged;
+}
+
 // ---------------------------------------------------------------------------
 // Acks, pruning, resynchronization
 
-void RingNetProtocol::ack_tick(NodeId mh) {
-  sim_.after(config_.options.ack_period, [this, mh] { ack_tick(mh); });
-  MhNode& m = *mh_by_id_.at(mh);
+void RingNetProtocol::spawn_ack_chain(NodeId mh, sim::SimTime delay) {
+  MhNode& m = mhs_[mh.index()];
+  const std::uint64_t gen = m.ack_gen_;
+  sim_.after(mh_domain_[mh.index()], delay,
+             [this, mh, gen] { ack_tick(mh, gen); });
+}
+
+void RingNetProtocol::ack_tick(NodeId mh, std::uint64_t gen) {
+  MhNode& m = mhs_[mh.index()];
+  if (gen != m.ack_gen_) return;  // superseded by a migration respawn
+  sim_.after(config_.options.ack_period,
+             [this, mh, gen] { ack_tick(mh, gen); });
   if (!m.attached_) return;
   if (cell_blacked_out(m.ap_)) return;  // the ack cannot leave the cell
-  const NodeId br = topo_.br_of(m.ap_);
-  if (!br.valid() || !brs_.at(br)->alive_) return;
+  const NodeId br = ap_br_[m.ap_.index()];
+  if (!br.valid() || !brs_[br.index()].alive_) return;
   sim_.metrics().incr(mid_.acks_sent);
   const GlobalSeq wm = m.mq_.next_expected();
   const sim::SimTime delay = uplink_delay(mh, kAckBytes);
@@ -523,11 +604,12 @@ void RingNetProtocol::ack_tick(NodeId mh) {
 
 void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
                                      GlobalSeq next_expected) {
-  BrNode& b = *brs_.at(br);
+  BrNode& b = brs_[br.index()];
   if (!b.alive_) return;
-  const auto member = b.member_wm_.find(mh);
-  if (member == b.member_wm_.end()) return;  // moved away meanwhile
-  if (next_expected > member->second) member->second = next_expected;
+  if (member_br_[mh.index()] != br) return;  // moved away meanwhile
+  if (next_expected > member_wm_[mh.index()]) {
+    member_wm_[mh.index()] = next_expected;
+  }
   mark_acked(b);
 
   // Resynchronize the member from the MQ. Anything older than the MQ's
@@ -538,7 +620,8 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
     const GlobalSeq skipped = vf - cursor;
     const sim::SimTime delay = downlink_delay(mh, kAckBytes);
     sim_.after(delay, [this, mh, vf, skipped] {
-      MhNode& m = *mh_by_id_.at(mh);
+      MhNode& m = mhs_[mh.index()];
+      if (sim_.current_ctx() != mh_domain_[mh.index()]) return;
       if (!m.attached_ || m.mq_.next_expected() >= vf) return;
       m.mq_.skip_to(vf);
       sim_.metrics().incr(mid_.gaps_skipped);
@@ -574,7 +657,7 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
           hop_delay(config_.hierarchy.wan,
                     net::link_key(arch->ordering_node, br), data_bytes());
       sim_.after(delay, [this, br, mh, m = *arch] {
-        BrNode& bb = *brs_.at(br);
+        BrNode& bb = brs_[br.index()];
         if (!bb.alive_) return;
         br_receive_ordered(br, m);
         if (!bb.mq_.contains(m.gseq)) {
@@ -599,8 +682,9 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
 }
 
 void RingNetProtocol::mark_acked(BrNode& b) {
+  const auto& members = br_members_[b.id_.index()];
   GlobalSeq floor;
-  if (b.member_wm_.empty()) {
+  if (members.empty()) {
     if (!b.mq_.max_seen() && b.mq_.empty()) return;
     // Nobody to serve right now — but an MH may re-attach moments after
     // the last one left, and marking everything up to max_seen delivered
@@ -617,10 +701,9 @@ void RingNetProtocol::mark_acked(BrNode& b) {
     // global acked floor — and archive/submit-log pruning — ring-wide.
     if (b.mq_.next_expected() < floor) b.mq_.skip_to(floor);
   } else {
-    floor = b.member_wm_.begin()->second;
-    for (const auto& [mh, wm] : b.member_wm_) {
-      (void)mh;
-      floor = std::min(floor, wm);
+    floor = member_wm_[members.front().index()];
+    for (NodeId mh : members) {
+      floor = std::min(floor, member_wm_[mh.index()]);
     }
   }
   b.acked_floor_ = std::max(b.acked_floor_, b.mq_.next_expected());
@@ -628,7 +711,9 @@ void RingNetProtocol::mark_acked(BrNode& b) {
     b.mq_.mark_delivered(b.acked_floor_);
     ++b.acked_floor_;
   }
-  advance_global_floor();
+  // Under sharding this runs inside a BR domain, where peer floors are not
+  // readable; the global fold happens at the next token hop instead.
+  if (!migrate_) advance_global_floor();
 }
 
 void RingNetProtocol::advance_global_floor() {
@@ -638,10 +723,9 @@ void RingNetProtocol::advance_global_floor() {
   // behind it.
   GlobalSeq floor = 0;
   bool any = false;
-  for (const auto& [id, br] : brs_) {
-    (void)id;
-    if (!br->alive_) continue;
-    floor = any ? std::min(floor, br->acked_floor_) : br->acked_floor_;
+  for (const auto& br : brs_) {
+    if (!br.alive_) continue;
+    floor = any ? std::min(floor, br.acked_floor_) : br.acked_floor_;
     any = true;
   }
   if (!any || floor <= global_acked_floor_) return;
@@ -665,9 +749,19 @@ void RingNetProtocol::prune_archive() {
 }
 
 void RingNetProtocol::release_submit(const proto::DataMsg& msg) {
-  if (msg.source.index() < sources_.size()) {
-    sources_[msg.source.index()].submit_log.release(msg.lseq);
+  if (msg.source.index() >= sources_.size()) return;
+  SourceState& src = sources_[msg.source.index()];
+  if (migrate_) {
+    const sim::Domain ctx = sim_.current_ctx();
+    if (ctx != gdom() && ctx != mh_domain_[src.mh.index()]) {
+      // A foreign domain cannot touch this source's submit log while its
+      // owner runs; hand the release to the serialized global context.
+      sim_.after(gdom(), sim_.lookahead(),
+                 [this, msg] { release_submit(msg); });
+      return;
+    }
   }
+  src.submit_log.release(msg.lseq);
 }
 
 const proto::DataMsg* RingNetProtocol::archive_lookup(GlobalSeq gseq) const {
@@ -689,16 +783,15 @@ sim::SimTime RingNetProtocol::archive_stored_at(GlobalSeq gseq) const {
 
 void RingNetProtocol::queue_membership_event(NodeId mh, NodeId ap) {
   // Routed through the BR serving the MH's (new or old) cell.
-  const NodeId route_ap = ap.valid() ? ap : mh_by_id_.at(mh)->ap_;
-  const NodeId br = topo_.br_of(route_ap);
-  if (!br.valid() || !brs_.at(br)->alive_) return;
-  const std::uint64_t seq = ++membership_seq_[mh];
+  const NodeId route_ap = ap.valid() ? ap : mhs_[mh.index()].ap_;
+  const NodeId br = ap_br_[route_ap.index()];
+  if (!br.valid() || !brs_[br.index()].alive_) return;
+  const std::uint64_t seq = ++membership_seq_[mh.index()];
   const sim::SimTime delay =
       hop_delay(config_.hierarchy.lan,
-                net::link_key(route_ap, topo_.desc(route_ap).parent),
-                kAckBytes);
+                net::link_key(route_ap, ap_ag_[route_ap.index()]), kAckBytes);
   sim_.after(delay, [this, br, mh, ap, seq] {
-    BrNode& b = *brs_.at(br);
+    BrNode& b = brs_[br.index()];
     if (!b.alive_) return;
     b.pending_membership_.push_back(BrNode::MemberEvent{mh, ap, seq});
   });
@@ -707,7 +800,7 @@ void RingNetProtocol::queue_membership_event(NodeId mh, NodeId ap) {
 void RingNetProtocol::membership_flush_tick(NodeId br) {
   sim_.after(config_.options.membership_batch,
              [this, br] { membership_flush_tick(br); });
-  BrNode& b = *brs_.at(br);
+  BrNode& b = brs_[br.index()];
   if (!b.alive_ || b.pending_membership_.empty()) return;
   std::vector<BrNode::MemberEvent> events;
   events.swap(b.pending_membership_);
@@ -735,7 +828,7 @@ void RingNetProtocol::membership_flush_tick(NodeId br) {
 void RingNetProtocol::membership_relay(
     NodeId br, std::vector<NodeId> visited,
     std::vector<BrNode::MemberEvent> events) {
-  BrNode& b = *brs_.at(br);
+  BrNode& b = brs_[br.index()];
   if (!b.alive_) return;
   for (const auto& ev : events) {
     b.view_.apply(ev.mh, ev.ap, ev.seq);
@@ -763,21 +856,24 @@ void RingNetProtocol::membership_relay(
 void RingNetProtocol::heartbeat_tick(NodeId br) {
   sim_.after(config_.options.heartbeat_period,
              [this, br] { heartbeat_tick(br); });
-  BrNode& b = *brs_.at(br);
+  BrNode& b = brs_[br.index()];
   if (!b.alive_) return;
   // A live node ejected by a false-positive timeout (heartbeats ride the
   // lossy WAN with no ARQ) notices on its next beat and merges back in.
-  if (ring_pos_.find(br) == ring_pos_.end()) rejoin_ring(br);
+  if (ring_pos_[br.index()] == kNoRingPos) rejoin_ring(br);
   if (alive_ring_.size() < 2) return;
 
   // Emit a heartbeat to the ring successor (no ARQ: misses are the signal).
   const NodeId next = next_alive_br(br);
-  if (!loss_process(net::link_key(br, next), config_.hierarchy.wan)
-           .lost(sim_.rng())) {
+  const bool beat_lost =
+      config_.hierarchy.wan.loss_rate > 0.0 &&
+      loss_process(net::link_key(br, next), config_.hierarchy.wan)
+          .lost(sim_.rng());
+  if (!beat_lost) {
     const sim::SimTime delay =
         config_.hierarchy.wan.one_way(kHeartbeatBytes);
     sim_.after(delay, [this, next] {
-      BrNode& succ = *brs_.at(next);
+      BrNode& succ = brs_[next.index()];
       if (succ.alive_ && succ.last_hb_from_prev_ < sim_.now()) {
         succ.last_hb_from_prev_ = sim_.now();
       }
@@ -785,9 +881,8 @@ void RingNetProtocol::heartbeat_tick(NodeId br) {
   }
 
   // Check our own predecessor's liveness.
-  const auto it = ring_pos_.find(br);
-  if (it == ring_pos_.end()) return;
-  const std::size_t pos = it->second;
+  const std::size_t pos = ring_pos_[br.index()];
+  if (pos == kNoRingPos) return;
   const NodeId prev = alive_ring_[(pos + alive_ring_.size() - 1) %
                                   alive_ring_.size()];
   if (prev == br) return;
@@ -799,22 +894,21 @@ void RingNetProtocol::heartbeat_tick(NodeId br) {
 }
 
 void RingNetProtocol::handle_br_failure(NodeId dead) {
-  const auto it = ring_pos_.find(dead);
-  if (it == ring_pos_.end()) return;
-  alive_ring_.erase(alive_ring_.begin() +
-                    static_cast<std::ptrdiff_t>(it->second));
+  const std::size_t pos = ring_pos_[dead.index()];
+  if (pos == kNoRingPos) return;
+  alive_ring_.erase(alive_ring_.begin() + static_cast<std::ptrdiff_t>(pos));
   rebuild_ring_index();
   sim_.metrics().incr(mid_.ring_repairs);
   sim_.trace().record(sim::TraceKind::RingRepair, sim_.now(), dead,
                       alive_ring_.size());
   for (NodeId br : alive_ring_) {
-    brs_.at(br)->last_hb_from_prev_ = sim_.now();
+    brs_[br.index()].last_hb_from_prev_ = sim_.now();
   }
   if (alive_ring_.empty()) return;
 
   const bool custody_lost =
       token_lost_ || token_custodian_ == dead ||
-      (token_custodian_.valid() && !brs_.at(token_custodian_)->alive_);
+      (token_custodian_.valid() && !brs_[token_custodian_.index()].alive_);
   if (custody_lost && !regen_pending_) {
     regen_pending_ = true;
     // One repair round-trip before the leader regenerates.
@@ -830,14 +924,14 @@ void RingNetProtocol::rejoin_ring(NodeId br) {
   std::vector<NodeId> merged;
   merged.reserve(alive_ring_.size() + 1);
   for (NodeId id : topo_.top_ring) {
-    if (id == br || ring_pos_.find(id) != ring_pos_.end()) {
+    if (id == br || ring_pos_[id.index()] != kNoRingPos) {
       merged.push_back(id);
     }
   }
   alive_ring_ = std::move(merged);
   rebuild_ring_index();
   for (NodeId id : alive_ring_) {
-    brs_.at(id)->last_hb_from_prev_ = sim_.now();
+    brs_[id.index()].last_hb_from_prev_ = sim_.now();
   }
   sim_.metrics().incr(mid_.ring_rejoins);
   sim_.trace().record(sim::TraceKind::RingRepair, sim_.now(), br,
@@ -850,7 +944,7 @@ void RingNetProtocol::regenerate_token() {
   regen_pending_ = false;
   if (alive_ring_.empty()) return;
   if (!token_lost_ && token_custodian_.valid() &&
-      brs_.at(token_custodian_)->alive_) {
+      brs_[token_custodian_.index()].alive_) {
     return;  // the token survived after all
   }
   ++current_epoch_;
@@ -873,9 +967,8 @@ void RingNetProtocol::regenerate_token() {
 
 void RingNetProtocol::crash_node(NodeId id) {
   sim_.trace().record(sim::TraceKind::NodeCrash, sim_.now(), id);
-  const auto br = brs_.find(id);
-  if (br != brs_.end()) {
-    BrNode& b = *br->second;
+  if (id.tier() == Tier::BR && id.index() < brs_.size()) {
+    BrNode& b = brs_[id.index()];
     b.alive_ = false;
     // Messages staged here died unassigned: release their submit-log
     // entries so the pruned-prefix frontier keeps advancing.
@@ -886,16 +979,20 @@ void RingNetProtocol::crash_node(NodeId id) {
     advance_global_floor();  // a dead BR no longer holds the watermark
     return;
   }
-  const auto mh = mh_by_id_.find(id);
-  if (mh != mh_by_id_.end() && mh->second->attached_) {
-    mh->second->attached_ = false;
-    const auto occ = ap_occupancy_.find(mh->second->ap_);
-    if (occ != ap_occupancy_.end() && occ->second > 0) --occ->second;
+  if (id.tier() == Tier::MH && id.index() < mhs_.size()) {
+    MhNode& m = mhs_[id.index()];
+    if (m.attached_) {
+      m.attached_ = false;
+      if (ap_occupancy_[m.ap_.index()] > 0) --ap_occupancy_[m.ap_.index()];
+    }
   }
 }
 
 void RingNetProtocol::eject_br(NodeId br) {
-  if (brs_.find(br) == brs_.end() || !brs_.at(br)->alive_) return;
+  if (br.tier() != Tier::BR || br.index() >= brs_.size() ||
+      !brs_[br.index()].alive_) {
+    return;
+  }
   handle_br_failure(br);
 }
 
@@ -919,7 +1016,7 @@ void RingNetProtocol::schedule_next_handoff(NodeId mh) {
 
 void RingNetProtocol::perform_handoff(NodeId mh) {
   if (!mobility_.running_) return;
-  MhNode& m = *mh_by_id_.at(mh);
+  MhNode& m = mhs_[mh.index()];
   if (!m.attached_) {  // mid-handoff already; try again later
     schedule_next_handoff(mh);
     return;
@@ -935,25 +1032,40 @@ void RingNetProtocol::perform_handoff(NodeId mh) {
 }
 
 void RingNetProtocol::force_handoff(NodeId mh, NodeId target_ap) {
-  MhNode& m = *mh_by_id_.at(mh);
+  MhNode& m = mhs_[mh.index()];
   if (!m.attached_) return;
   begin_handoff(mh, target_ap);
 }
 
 void RingNetProtocol::detach_from_cell(MhNode& m) {
   const NodeId old_ap = m.ap_;
-  const NodeId old_br = topo_.br_of(old_ap);
+  const NodeId old_br = ap_br_[old_ap.index()];
   queue_membership_event(m.id_, NodeId::invalid());
   m.attached_ = false;
-  auto occ = ap_occupancy_.find(old_ap);
-  if (occ != ap_occupancy_.end() && occ->second > 0) --occ->second;
+  if (ap_occupancy_[old_ap.index()] > 0) --ap_occupancy_[old_ap.index()];
   if (old_br.valid()) {
-    auto& members = br_members_.at(old_br);
+    auto& members = br_members_[old_br.index()];
     members.erase(std::remove(members.begin(), members.end(), m.id_),
                   members.end());
-    BrNode& b = *brs_.at(old_br);
-    b.member_wm_.erase(m.id_);
+    member_br_[m.id_.index()] = NodeId::invalid();
+    BrNode& b = brs_[old_br.index()];
     if (b.alive_) mark_acked(b);
+  }
+  if (migrate_) {
+    // Re-home the MH to the global context until an attach completes:
+    // kill the domain-resident tick chains and respawn the source chains
+    // there (submissions keep flowing into the park queue while detached).
+    ++m.ack_gen_;
+    mh_domain_[m.id_.index()] = gdom();
+    for (const std::uint32_t idx : sources_on_mh_[m.id_.index()]) {
+      SourceState& src = sources_[idx];
+      ++src.gen;
+      if (sources_running_ && config_.source.rate_hz > 0.0) {
+        sim::SimTime dt = next_submit_interval(src);
+        if (dt <= sim::SimTime::zero()) dt = sim::usecs(1);
+        spawn_source_chain(idx, dt);
+      }
+    }
   }
 }
 
@@ -968,7 +1080,7 @@ sim::SimTime RingNetProtocol::schedule_attach(MhNode& m, NodeId ap,
 }
 
 sim::SimTime RingNetProtocol::begin_handoff(NodeId mh, NodeId target_ap) {
-  MhNode& m = *mh_by_id_.at(mh);
+  MhNode& m = mhs_[mh.index()];
   detach_from_cell(m);
 
   const bool hot = ap_is_hot(target_ap, mh);
@@ -979,14 +1091,14 @@ sim::SimTime RingNetProtocol::begin_handoff(NodeId mh, NodeId target_ap) {
 }
 
 void RingNetProtocol::detach_mh(NodeId mh) {
-  MhNode& m = *mh_by_id_.at(mh);
+  MhNode& m = mhs_[mh.index()];
   if (!m.attached_) return;
   detach_from_cell(m);
   sim_.metrics().incr(mid_.churn_leaves);
 }
 
 void RingNetProtocol::reattach_mh(NodeId mh, NodeId ap) {
-  MhNode& m = *mh_by_id_.at(mh);
+  MhNode& m = mhs_[mh.index()];
   if (m.attached_ || m.attach_pending_) return;
   sim_.metrics().incr(mid_.churn_rejoins);
   schedule_attach(m, ap, ap_is_hot(ap, mh));
@@ -1008,39 +1120,57 @@ void RingNetProtocol::lose_token() {
 }
 
 void RingNetProtocol::set_cell_blackout(NodeId ap, bool on) {
-  if (on) {
-    cell_blackout_.insert(ap);
-  } else {
-    cell_blackout_.erase(ap);
+  std::uint8_t& flag = cell_blackout_[ap.index()];
+  if (on && flag == 0) {
+    flag = 1;
+    ++blackout_count_;
+  } else if (!on && flag != 0) {
+    flag = 0;
+    --blackout_count_;
   }
 }
 
 void RingNetProtocol::complete_attach(NodeId mh, NodeId ap) {
-  MhNode& m = *mh_by_id_.at(mh);
+  MhNode& m = mhs_[mh.index()];
   m.attach_pending_ = false;
   m.ap_ = ap;
   m.attached_ = true;
-  ++ap_occupancy_[ap];
-  const NodeId br = topo_.br_of(ap);
+  ++ap_occupancy_[ap.index()];
+  const NodeId br = ap_br_[ap.index()];
   if (br.valid()) {
-    br_members_.at(br).push_back(mh);
-    BrNode& b = *brs_.at(br);
-    if (b.alive_) {
-      b.member_wm_[mh] = m.mq_.next_expected();
-      mark_acked(b);
+    br_members_[br.index()].push_back(mh);
+    member_br_[mh.index()] = br;
+    member_wm_[mh.index()] = m.mq_.next_expected();
+    BrNode& b = brs_[br.index()];
+    if (b.alive_) mark_acked(b);
+  }
+  if (migrate_) {
+    // Hand the MH to its new subtree's domain and restart the tick chains
+    // there (this runs in the serialized global context, so the old
+    // domain is quiescent and the re-home is race-free).
+    mh_domain_[mh.index()] = br.valid() ? br_domain(br) : gdom();
+    ++m.ack_gen_;
+    if (config_.options.ordered) {
+      spawn_ack_chain(mh, config_.options.ack_period);
+    }
+    for (const std::uint32_t idx : sources_on_mh_[mh.index()]) {
+      SourceState& src = sources_[idx];
+      ++src.gen;
+      if (sources_running_ && config_.source.rate_hz > 0.0) {
+        sim::SimTime dt = next_submit_interval(src);
+        if (dt <= sim::SimTime::zero()) dt = sim::usecs(1);
+        spawn_source_chain(idx, dt);
+      }
     }
   }
   queue_membership_event(mh, ap);
 
   // Sources parked on this MH flush through the new path.
-  const auto it = sources_on_mh_.find(mh);
-  if (it != sources_on_mh_.end()) {
-    for (const std::size_t idx : it->second) {
-      auto& parked = sources_[idx].parked;
-      while (!parked.empty()) {
-        uplink_to_br(parked.front(), mh);
-        parked.pop_front();
-      }
+  for (const std::uint32_t idx : sources_on_mh_[mh.index()]) {
+    auto& parked = sources_[idx].parked;
+    while (!parked.empty()) {
+      uplink_to_br(parked.front(), mh);
+      parked.pop_front();
     }
   }
 }
@@ -1049,21 +1179,18 @@ bool RingNetProtocol::ap_is_hot(NodeId ap, NodeId exclude_mh) const {
   // Maintained per-cell occupancy counts make this O(1) per candidate cell
   // (it runs on every handoff) instead of a scan over the MH population.
   auto cell_has_member = [&](NodeId cell) {
-    const auto it = ap_occupancy_.find(cell);
-    std::size_t n = it == ap_occupancy_.end() ? 0 : it->second;
-    const auto ex = mh_by_id_.find(exclude_mh);
-    if (n > 0 && ex != mh_by_id_.end() && ex->second->attached_ &&
-        ex->second->ap_ == cell) {
-      --n;
+    std::uint32_t n = ap_occupancy_[cell.index()];
+    if (n > 0 && exclude_mh.valid() && exclude_mh.index() < mhs_.size()) {
+      const MhNode& ex = mhs_[exclude_mh.index()];
+      if (ex.attached_ && ex.ap_ == cell) --n;
     }
     return n > 0;
   };
   if (cell_has_member(ap)) return true;
   if (!config_.options.smooth_handoff) return false;
   // §3 reserved paths: neighbors of any occupied cell hold a reservation.
-  const auto it = ap_pos_.find(ap);
-  if (it == ap_pos_.end()) return false;
-  const std::size_t pos = it->second;
+  // topo_.aps is index-ordered, so the AP's own index is its ring slot.
+  const std::size_t pos = ap.index();
   const std::size_t n = topo_.aps.size();
   return cell_has_member(topo_.aps[(pos + 1) % n]) ||
          cell_has_member(topo_.aps[(pos + n - 1) % n]);
@@ -1074,17 +1201,16 @@ bool RingNetProtocol::ap_is_hot(NodeId ap, NodeId exclude_mh) const {
 
 NodeId RingNetProtocol::next_alive_br(NodeId from) const {
   if (alive_ring_.empty()) return NodeId::invalid();
-  const auto it = ring_pos_.find(from);
-  if (it != ring_pos_.end()) {
-    return alive_ring_[(it->second + 1) % alive_ring_.size()];
+  const std::size_t pos = ring_pos_[from.index()];
+  if (pos != kNoRingPos) {
+    return alive_ring_[(pos + 1) % alive_ring_.size()];
   }
-  // `from` was removed: walk the original ring order to the next survivor.
-  const auto orig = top_ring_pos_.find(from);
-  if (orig == top_ring_pos_.end()) return alive_ring_.front();
-  const std::size_t start = orig->second;
+  // `from` was removed: walk the original ring order to the next survivor
+  // (top_ring is index-ordered, so `from.index()` is its original slot).
+  const std::size_t start = from.index();
   for (std::size_t k = 1; k <= topo_.top_ring.size(); ++k) {
     const NodeId cand = topo_.top_ring[(start + k) % topo_.top_ring.size()];
-    if (ring_pos_.find(cand) != ring_pos_.end()) return cand;
+    if (ring_pos_[cand.index()] != kNoRingPos) return cand;
   }
   return alive_ring_.front();
 }
@@ -1094,22 +1220,24 @@ NodeId RingNetProtocol::leader_br() const {
 }
 
 void RingNetProtocol::rebuild_ring_index() {
-  ring_pos_.clear();
+  ring_pos_.assign(brs_.size(), kNoRingPos);
   for (std::size_t i = 0; i < alive_ring_.size(); ++i) {
-    ring_pos_.emplace(alive_ring_[i], i);
+    ring_pos_[alive_ring_[i].index()] = i;
   }
 }
 
 net::LossProcess& RingNetProtocol::loss_process(
     net::LinkKey link, const net::ChannelModel& model) {
-  const auto it = loss_.find(link);
-  if (it != loss_.end()) return it->second;
-  return loss_.emplace(link, net::LossProcess(model)).first->second;
+  return loss_[sim_.current_ctx()].find_or_emplace(link, model);
 }
 
 sim::SimTime RingNetProtocol::hop_delay(const net::ChannelModel& model,
                                         net::LinkKey link,
                                         std::uint32_t bytes) {
+  // Lossless links skip the per-link process entirely. This is RNG-neutral
+  // (LossProcess::lost never draws when loss_rate <= 0) — it just avoids
+  // the map probe on every hop of a zero-loss configuration.
+  if (model.loss_rate <= 0.0) return model.one_way(bytes);
   net::LossProcess& lp = loss_process(link, model);
   sim::SimTime d = model.one_way(bytes);
   const int budget = std::max(1, config_.options.max_retx);
@@ -1121,13 +1249,13 @@ sim::SimTime RingNetProtocol::hop_delay(const net::ChannelModel& model,
 }
 
 sim::SimTime RingNetProtocol::uplink_delay(NodeId mh, std::uint32_t bytes) {
-  const MhNode& m = *mh_by_id_.at(mh);
+  const MhNode& m = mhs_[mh.index()];
   const NodeId ap = m.ap_;
-  const NodeId ag = topo_.desc(ap).parent;
+  const NodeId ag = ap_ag_[ap.index()];
   return hop_delay(config_.hierarchy.wireless, net::link_key(mh, ap), bytes) +
          hop_delay(config_.hierarchy.lan, net::link_key(ap, ag), bytes) +
          hop_delay(config_.hierarchy.lan,
-                   net::link_key(ag, topo_.desc(ag).parent), bytes);
+                   net::link_key(ag, ag_br_[ag.index()]), bytes);
 }
 
 sim::SimTime RingNetProtocol::downlink_delay(NodeId mh, std::uint32_t bytes) {
@@ -1138,6 +1266,14 @@ void RingNetProtocol::note_wq_depth(const BrNode& br) {
   sim_.metrics().gauge_max(
       mid_.buf_wq_peak,
       static_cast<double>(br.staging_.size() + br.wq_.size()));
+}
+
+void RingNetProtocol::note_submit_log_depth(std::size_t retained) {
+  std::size_t cur = submit_log_peak_.load(std::memory_order_relaxed);
+  while (retained > cur &&
+         !submit_log_peak_.compare_exchange_weak(cur, retained,
+                                                 std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace ringnet::core

@@ -48,7 +48,7 @@ std::size_t Engine::ap_index(NodeId ap) const {
   return ap.index();
 }
 
-NodeId Engine::mh_id(std::size_t mh) const { return proto_.mhs()[mh]->id(); }
+NodeId Engine::mh_id(std::size_t mh) const { return proto_.mhs()[mh].id(); }
 
 void Engine::arm() {
   running_ = true;
@@ -68,7 +68,7 @@ void Engine::arm() {
     case MobilityModel::Commuter:
       if (can_move) {
         for (std::size_t i = 0; i < n_mh; ++i) {
-          home_[i] = ap_index(proto_.mhs()[i]->ap());
+          home_[i] = ap_index(proto_.mhs()[i].ap());
           // The far side of the grid, so commutes cross cells (and in
           // multi-BR deployments usually BR domains).
           work_[i] = (home_[i] + aps_.size() / 2) % aps_.size();
@@ -110,7 +110,7 @@ void Engine::schedule_waypoint_step(std::size_t mh) {
 
 void Engine::waypoint_step(std::size_t mh) {
   if (!running_) return;
-  const auto& node = *proto_.mhs()[mh];
+  const auto& node = proto_.mhs()[mh];
   if (node.attached()) {
     const std::size_t cur = ap_index(node.ap());
     if (cur == waypoint_[mh]) waypoint_[mh] = rng_.bounded(aps_.size());
@@ -147,7 +147,7 @@ std::size_t Engine::step_toward(std::size_t from, std::size_t to) const {
 
 void Engine::commuter_trip(std::size_t mh) {
   if (!running_) return;
-  const auto& node = *proto_.mhs()[mh];
+  const auto& node = proto_.mhs()[mh];
   if (node.attached()) {
     const std::size_t cur = ap_index(node.ap());
     const std::size_t target = cur == work_[mh] ? home_[mh] : work_[mh];
@@ -163,7 +163,7 @@ void Engine::hotspot_flash() {
   const std::size_t hotspot = hotspot_cursor_++ % aps_.size();
   auto displaced = std::make_shared<std::vector<std::size_t>>();
   for (std::size_t i = 0; i < proto_.mhs().size(); ++i) {
-    const auto& node = *proto_.mhs()[i];
+    const auto& node = proto_.mhs()[i];
     if (!node.attached() || ap_index(node.ap()) == hotspot) continue;
     if (!rng_.chance(spec_.mobility.hotspot_fraction)) continue;
     proto_.force_handoff(node.id(), aps_[hotspot]);
@@ -172,7 +172,7 @@ void Engine::hotspot_flash() {
   sim_.after(spec_.mobility.hotspot_dwell, [this, displaced] {
     // Dispersal runs even after stop(): the crowd drains home.
     for (const std::size_t i : *displaced) {
-      const auto& node = *proto_.mhs()[i];
+      const auto& node = proto_.mhs()[i];
       if (!node.attached()) continue;
       NodeId target = node.ap();
       while (target == node.ap()) target = random_ap();
@@ -195,7 +195,7 @@ void Engine::schedule_leave(std::size_t mh) {
 
 void Engine::leave(std::size_t mh) {
   if (!running_) return;
-  const auto& node = *proto_.mhs()[mh];
+  const auto& node = proto_.mhs()[mh];
   if (node.attached()) {
     proto_.detach_mh(node.id());
     if (spec_.churn.rejoin) {
@@ -214,7 +214,7 @@ void Engine::mass_leave() {
   if (!running_) return;  // a short run ended before the scripted exodus
   auto gone = std::make_shared<std::vector<std::size_t>>();
   for (std::size_t i = 0; i < proto_.mhs().size(); ++i) {
-    const auto& node = *proto_.mhs()[i];
+    const auto& node = proto_.mhs()[i];
     if (node.attached() && rng_.chance(spec_.churn.mass_leave_fraction)) {
       proto_.detach_mh(node.id());
       gone->push_back(i);

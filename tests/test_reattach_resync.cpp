@@ -50,7 +50,7 @@ TEST(reattach_after_empty_br_resyncs_without_skips) {
   CHECK_EQ(sim.metrics().counter("mh.gaps_skipped"), std::uint64_t{0});
   CHECK(!proto.deliveries().check_total_order().has_value());
   for (const auto& mh : proto.mhs()) {
-    CHECK_EQ(mh->delivered_count(), proto.total_sent());
+    CHECK_EQ(mh.delivered_count(), proto.total_sent());
   }
 }
 

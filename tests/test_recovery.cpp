@@ -50,7 +50,7 @@ TEST(crash_triggers_regeneration_with_fresh_epoch) {
   CHECK(!visited_victim_late);
   // Order holds and survivors keep delivering after the crash.
   CHECK(!proto.deliveries().check_total_order().has_value());
-  CHECK(proto.mhs().back()->last_delivery_at() > crash_at);
+  CHECK(proto.mhs().back().last_delivery_at() > crash_at);
 }
 
 TEST(duplicate_token_is_destroyed) {
@@ -95,7 +95,7 @@ TEST(false_ejection_heals_via_rejoin) {
   CHECK(sim.metrics().counter("ring.rejoins") > 0);   // and healed
   CHECK(!proto.deliveries().check_total_order().has_value());
   for (const auto& mh : proto.mhs()) {
-    CHECK(static_cast<double>(mh->delivered_count()) >=
+    CHECK(static_cast<double>(mh.delivered_count()) >=
           0.99 * static_cast<double>(proto.total_sent()));
   }
 }

@@ -185,7 +185,7 @@ TEST(br_crash_regenerates_token_and_survivors_continue) {
   const sim::SimTime crash_at = sim::secs(1.0);
   bool survivor_delivered_late = false;
   for (const auto& mh : proto.mhs()) {
-    survivor_delivered_late |= mh->last_delivery_at() > crash_at;
+    survivor_delivered_late |= mh.last_delivery_at() > crash_at;
   }
   CHECK(survivor_delivered_late);
 }

@@ -1,0 +1,176 @@
+// Sharded-engine equivalence: for every canned scenario, the domain-sharded
+// parallel engine must produce exactly the run the single-heap oracle
+// produces over the same domain plan — identical per-MH delivery traces
+// (gseq and timestamp), identical protocol counters, identical acked floor.
+// Both modes share event keys (at, source domain, source seq) and
+// per-context RNG streams; the conservative-lookahead windows only change
+// *which thread* executes an event, never its order within a context.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/harness.hpp"
+#include "ringnet_test.hpp"
+#include "scenario/catalogue.hpp"
+#include "scenario/engine.hpp"
+
+using namespace ringnet;
+
+namespace {
+
+struct DeliverRec {
+  std::uint32_t node = 0;
+  std::uint64_t gseq = 0;
+  std::int64_t at_us = 0;
+
+  bool operator==(const DeliverRec&) const = default;
+  bool operator<(const DeliverRec& o) const {
+    if (node != o.node) return node < o.node;
+    if (gseq != o.gseq) return gseq < o.gseq;
+    return at_us < o.at_us;
+  }
+};
+
+struct ModeResult {
+  std::vector<DeliverRec> deliveries;
+  std::string counters;
+  GlobalSeq acked_floor = 0;
+  std::uint64_t total_sent = 0;
+};
+
+ModeResult run_mode(baseline::RunSpec spec, std::size_t threads) {
+  spec.shard = true;
+  spec.shard_threads = threads;
+  const core::ProtocolConfig cfg = baseline::effective_config(spec);
+  sim::Simulation sim(spec.seed, baseline::shard_plan(spec, cfg));
+  sim.enable_trace();
+  core::RingNetProtocol proto(sim, cfg);
+  proto.start();
+  std::optional<scenario::Engine> engine;
+  if (spec.scenario) {
+    engine.emplace(*spec.scenario, proto, sim);
+    engine->arm();
+  }
+  sim.run_for(spec.warmup + spec.run);
+  proto.stop_sources();
+  proto.mobility().stop();
+  if (engine) engine->stop();
+  sim.run_for(spec.drain);
+
+  ModeResult out;
+  // An MH's deliveries land in whichever context owned it at the time, so
+  // gather from every per-context trace and canonicalize the order.
+  for (const auto& tr : sim.traces()) {
+    tr.for_each(sim::TraceKind::Deliver, [&out](const sim::TraceEvent& ev) {
+      out.deliveries.push_back(DeliverRec{ev.node.v, ev.a, ev.at.us});
+    });
+  }
+  std::sort(out.deliveries.begin(), out.deliveries.end());
+  const auto& mx = sim.metrics();
+  for (const char* name :
+       {"mh.delivered", "token.held", "arq.acks_sent", "arq.retransmits",
+        "handoff.count", "handoff.hot", "churn.leaves", "churn.rejoins",
+        "mh.gaps_skipped", "mh.gap_skipped_msgs", "blackout.dropped",
+        "blackout.uplink_lost", "token.regenerated", "token.dropped",
+        "membership.applied", "ring.repairs"}) {
+    out.counters += std::string(name) + "=" +
+                    std::to_string(mx.counter(name)) + ";";
+  }
+  out.acked_floor = proto.global_acked_floor();
+  out.total_sent = proto.total_sent();
+  return out;
+}
+
+baseline::RunSpec scenario_spec(const std::string& name) {
+  baseline::RunSpec spec;
+  spec.config.hierarchy.num_brs = 3;
+  spec.config.hierarchy.ags_per_br = 1;
+  spec.config.hierarchy.aps_per_ag = 4;
+  spec.config.hierarchy.mhs_per_ap = 1;
+  spec.config.num_sources = 2;
+  spec.seed = 7;
+  spec.warmup = sim::secs(0.2);
+  spec.run = sim::secs(1.6);
+  spec.drain = sim::secs(0.75);
+  const auto parsed = scenario::find_scenario(name);
+  CHECK(parsed.has_value());
+  if (parsed) spec.scenario = *parsed;
+  return spec;
+}
+
+}  // namespace
+
+TEST(every_canned_scenario_matches_the_oracle) {
+  for (const auto& c : scenario::catalogue()) {
+    const auto spec = scenario_spec(c.name);
+    const ModeResult oracle = run_mode(spec, 0);
+    const ModeResult sharded = run_mode(spec, 4);
+    if (oracle.deliveries != sharded.deliveries) {
+      std::printf("  '%s': delivery traces diverge (%zu vs %zu records)\n",
+                  c.name.c_str(), oracle.deliveries.size(),
+                  sharded.deliveries.size());
+      const std::size_t n =
+          std::min(oracle.deliveries.size(), sharded.deliveries.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (oracle.deliveries[i] == sharded.deliveries[i]) continue;
+        std::printf(
+            "    first divergence at %zu: oracle(node=%u gseq=%llu "
+            "at=%lldus) sharded(node=%u gseq=%llu at=%lldus)\n",
+            i, oracle.deliveries[i].node,
+            static_cast<unsigned long long>(oracle.deliveries[i].gseq),
+            static_cast<long long>(oracle.deliveries[i].at_us),
+            sharded.deliveries[i].node,
+            static_cast<unsigned long long>(sharded.deliveries[i].gseq),
+            static_cast<long long>(sharded.deliveries[i].at_us));
+        break;
+      }
+    }
+    CHECK(oracle.deliveries == sharded.deliveries);
+    CHECK(!oracle.deliveries.empty());
+    if (oracle.counters != sharded.counters) {
+      std::printf("  '%s':\n    oracle  %s\n    sharded %s\n", c.name.c_str(),
+                  oracle.counters.c_str(), sharded.counters.c_str());
+    }
+    CHECK_EQ(oracle.counters, sharded.counters);
+    CHECK_EQ(oracle.acked_floor, sharded.acked_floor);
+    CHECK_EQ(oracle.total_sent, sharded.total_sent);
+  }
+}
+
+TEST(thread_count_does_not_change_the_run) {
+  // The window schedule depends only on the event population, never on how
+  // many workers drain a window: 1, 2 and 8 threads all replay the oracle.
+  const auto spec = scenario_spec("waypoint-roam");
+  const ModeResult oracle = run_mode(spec, 0);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const ModeResult sharded = run_mode(spec, threads);
+    CHECK(oracle.deliveries == sharded.deliveries);
+    CHECK_EQ(oracle.counters, sharded.counters);
+  }
+}
+
+TEST(harness_shard_spec_reports_same_results) {
+  // The RunSpec plumbing end-to-end: run_experiment under the sharded plan
+  // must report the same distilled results as the oracle plan.
+  for (const std::string name : {"waypoint-roam", "token-storm"}) {
+    auto spec = scenario_spec(name);
+    spec.shard = true;
+    spec.shard_threads = 0;
+    const auto oracle = baseline::run_experiment(spec);
+    spec.shard_threads = 4;
+    const auto sharded = baseline::run_experiment(spec);
+    CHECK_EQ(oracle.lat_p99_us, sharded.lat_p99_us);
+    CHECK_EQ(oracle.lat_max_us, sharded.lat_max_us);
+    CHECK_EQ(oracle.retransmits, sharded.retransmits);
+    CHECK_EQ(oracle.handoffs, sharded.handoffs);
+    CHECK_NEAR(oracle.min_delivery_ratio, sharded.min_delivery_ratio, 1e-12);
+    CHECK(!oracle.order_violation.has_value());
+    CHECK(!sharded.order_violation.has_value());
+  }
+}
+
+TEST_MAIN()

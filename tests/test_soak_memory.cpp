@@ -101,7 +101,7 @@ TEST(soak_one_million_messages_bounded_memory) {
   // Nothing lost, nothing skipped: every member saw every message.
   CHECK_EQ(sim.metrics().counter("mh.gaps_skipped"), std::uint64_t{0});
   for (const auto& mh : proto.mhs()) {
-    CHECK_EQ(mh->delivered_count(), proto.total_sent());
+    CHECK_EQ(mh.delivered_count(), proto.total_sent());
   }
 }
 
