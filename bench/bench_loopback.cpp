@@ -1,0 +1,233 @@
+// Loopback soak: boot the Figure-1 hierarchy as real threaded nodes over
+// UDP sockets on 127.0.0.1, run a count-bounded scripted workload through
+// the supervisor handshake, and gate the outcome against the deterministic
+// simulator as oracle. The exact gseq->message binding is timing-dependent
+// (each execution is its own serialization), so the cross-execution gate
+// compares what must be invariant: each MH's delivered multiset of
+// (source, lseq), per-MH delivered counts, zero total-order violations
+// within each run, and really-lost parity. Non-zero exit on any mismatch.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/harness.hpp"
+#include "net/channel.hpp"
+#include "runtime/orchestrator.hpp"
+
+namespace {
+
+using ringnet::baseline::RunResult;
+using ringnet::baseline::RunSpec;
+using ringnet::runtime::LoopbackResult;
+using ringnet::runtime::LoopbackSpec;
+
+[[noreturn]] void usage_and_exit(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--smoke] [--brs N] [--aps-per-br N] "
+               "[--mhs-per-ap N] [--msgs N] [--rate HZ] [--seed N] "
+               "[--time-scale F]\n",
+               prog);
+  std::exit(2);
+}
+
+std::int64_t percentile(std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// The invariant delivery content of one MH: its (source, lseq) multiset.
+std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted_pairs(
+    const ringnet::core::DeliveryLog::Rec* recs, std::size_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.emplace_back(recs[i].source.v, recs[i].lseq);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoopbackSpec spec;
+  spec.num_brs = 2;
+  spec.aps_per_br = 2;
+  spec.mhs_per_ap = 8;
+  spec.rate_hz = 50.0;
+  spec.msgs_per_source = 40;
+  std::uint64_t seed = 1;
+  bool smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    const auto num = [&](const std::string& v) -> std::uint64_t {
+      char* end = nullptr;
+      const std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+      if (v.empty() || v[0] == '-' || end == v.c_str() || *end != '\0') {
+        usage_and_exit(argv[0]);
+      }
+      return n;
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--brs") {
+      spec.num_brs = num(value());
+    } else if (arg == "--aps-per-br") {
+      spec.aps_per_br = num(value());
+    } else if (arg == "--mhs-per-ap") {
+      spec.mhs_per_ap = num(value());
+    } else if (arg == "--msgs") {
+      spec.msgs_per_source = static_cast<std::uint32_t>(num(value()));
+    } else if (arg == "--rate") {
+      spec.rate_hz = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--seed") {
+      seed = num(value());
+    } else if (arg == "--time-scale") {
+      spec.time_scale = std::strtod(value().c_str(), nullptr);
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (smoke) {
+    // Still the acceptance floor (2 BRs / 4 APs / 32 MHs), just a shorter
+    // script so sanitizer legs finish quickly.
+    spec.msgs_per_source = 12;
+    spec.rate_hz = 40.0;
+  }
+  if (spec.num_brs < 1 || spec.aps_per_br < 1 || spec.mhs_per_ap < 1 ||
+      spec.rate_hz <= 0.0 || spec.msgs_per_source == 0) {
+    usage_and_exit(argv[0]);
+  }
+
+  const LoopbackSpec eff = ringnet::runtime::scaled(spec);
+  const std::size_t n_mh = eff.n_mhs();
+  const double script_secs =
+      static_cast<double>(eff.msgs_per_source) / eff.rate_hz;
+
+  std::printf("loopback soak: %zu BRs x %zu APs x %zu MHs = %zu nodes, "
+              "%u msgs/source @ %.1f Hz (%s)\n",
+              eff.num_brs, eff.n_aps(), n_mh,
+              eff.num_brs + eff.n_aps() + n_mh + 1, eff.msgs_per_source,
+              eff.rate_hz, eff.use_udp ? "udp loopback" : "in-process");
+
+  LoopbackResult rt = ringnet::runtime::run_loopback(eff);
+
+  // Same deployment and workload in the simulator (lossless channels; the
+  // wired loopback loses nothing the ARQ doesn't recover).
+  RunSpec oracle;
+  oracle.config.hierarchy.num_brs = eff.num_brs;
+  oracle.config.hierarchy.ags_per_br = 1;
+  oracle.config.hierarchy.aps_per_ag = eff.aps_per_br;
+  oracle.config.hierarchy.mhs_per_ap = eff.mhs_per_ap;
+  oracle.config.hierarchy.wan = ringnet::net::ChannelModel::wired_wan(0.0);
+  oracle.config.hierarchy.lan = ringnet::net::ChannelModel::wired_lan(0.0);
+  oracle.config.hierarchy.wireless = ringnet::net::ChannelModel::wireless(0.0);
+  oracle.config.num_sources = n_mh;
+  oracle.config.source.rate_hz = eff.rate_hz;
+  oracle.config.source.payload_size = eff.payload_size;
+  oracle.config.source.max_messages = eff.msgs_per_source;
+  oracle.warmup = ringnet::sim::secs(0.0);
+  oracle.run = ringnet::sim::secs(script_secs + 1.0);
+  oracle.drain = ringnet::sim::secs(2.0);
+  oracle.seed = seed;
+  oracle.export_deliveries = true;
+  RunResult sim = ringnet::baseline::run_experiment(oracle);
+
+  int failures = 0;
+  const auto gate = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  gate(rt.completed, "runtime: every MH reported Done before the deadline");
+  gate(!rt.order_violation,
+       "runtime: zero total-order violations across MHs");
+  if (rt.order_violation) {
+    std::printf("         %s\n", rt.order_violation->c_str());
+  }
+  gate(!sim.order_violation, "oracle: zero total-order violations");
+  gate(sim.total_sent ==
+           static_cast<std::uint64_t>(n_mh) * eff.msgs_per_source,
+       "oracle: sources submitted the full script");
+
+  std::size_t mismatched = 0;
+  std::size_t count_mismatched = 0;
+  for (std::size_t m = 0; m < n_mh; ++m) {
+    const auto [recs, n] = sim.deliveries_of(m);
+    if (rt.delivered_counts[m] != n) ++count_mismatched;
+    const auto sim_pairs = sorted_pairs(recs, n);
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> rt_pairs;
+    rt_pairs.reserve(rt.per_mh[m].size());
+    for (const auto& r : rt.per_mh[m]) {
+      rt_pairs.emplace_back(r.source.v, r.lseq);
+    }
+    std::sort(rt_pairs.begin(), rt_pairs.end());
+    if (rt_pairs != sim_pairs) ++mismatched;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "delivered (source,lseq) multisets match the oracle on all "
+                "%zu MHs (%zu mismatched)",
+                n_mh, mismatched);
+  gate(mismatched == 0, buf);
+  std::snprintf(buf, sizeof(buf),
+                "per-MH delivered counts match the oracle (%zu mismatched)",
+                count_mismatched);
+  gate(count_mismatched == 0, buf);
+  std::snprintf(buf, sizeof(buf),
+                "really-lost parity: runtime %llu vs oracle %llu",
+                static_cast<unsigned long long>(rt.counters.really_lost),
+                static_cast<unsigned long long>(sim.really_lost));
+  gate(rt.counters.really_lost == sim.really_lost, buf);
+
+  std::vector<std::int64_t> lat = rt.latencies_us;
+  std::sort(lat.begin(), lat.end());
+  std::printf(
+      "\n  runtime latency us (submit->delivery, wall): "
+      "p50=%lld p90=%lld p99=%lld max=%lld (n=%zu)\n",
+      static_cast<long long>(percentile(lat, 0.50)),
+      static_cast<long long>(percentile(lat, 0.90)),
+      static_cast<long long>(percentile(lat, 0.99)),
+      lat.empty() ? 0LL : static_cast<long long>(lat.back()), lat.size());
+  std::printf("  oracle  latency us (sim time):               "
+              "p50=%llu p90=%llu p99=%llu max=%llu\n",
+              static_cast<unsigned long long>(sim.lat_p50_us),
+              static_cast<unsigned long long>(sim.lat_p90_us),
+              static_cast<unsigned long long>(sim.lat_p99_us),
+              static_cast<unsigned long long>(sim.lat_max_us));
+  std::printf("  frames: sent=%llu received=%llu malformed=%llu "
+              "send_failures=%llu\n",
+              static_cast<unsigned long long>(rt.frames_sent),
+              static_cast<unsigned long long>(rt.frames_received),
+              static_cast<unsigned long long>(rt.frames_malformed),
+              static_cast<unsigned long long>(rt.send_failures));
+  std::printf("  token: held=%llu retx=%llu regen=%llu dup_destroyed=%llu "
+              "dropped=%llu\n",
+              static_cast<unsigned long long>(rt.counters.tokens_held),
+              static_cast<unsigned long long>(rt.counters.token_retx),
+              static_cast<unsigned long long>(rt.counters.token_regenerated),
+              static_cast<unsigned long long>(rt.counters.token_dup_destroyed),
+              static_cast<unsigned long long>(rt.counters.token_dropped));
+  std::printf("  arq: downlink_retx=%llu uplink_retx=%llu duplicates=%llu "
+              "acks=%llu floor_advances=%llu\n",
+              static_cast<unsigned long long>(rt.counters.retransmits),
+              static_cast<unsigned long long>(rt.counters.uplink_retx),
+              static_cast<unsigned long long>(rt.counters.duplicates),
+              static_cast<unsigned long long>(rt.counters.acks_sent),
+              static_cast<unsigned long long>(rt.counters.floor_advances));
+
+  std::printf("\nloopback soak: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}

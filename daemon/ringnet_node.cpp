@@ -1,0 +1,280 @@
+// ringnet_node: one protocol node as a standalone daemon over real UDP.
+// Every process is told the same deployment shape and derives the same
+// static port scheme, so a full Figure-1 hierarchy boots from a shell loop
+// (see README "Running on real sockets") with no discovery service:
+//   port-base + 0                     supervisor (SS)
+//   port-base + 1 + i                 BR i
+//   port-base + 1 + B + a             AP a        (B BRs)
+//   port-base + 1 + B + A + m         MH m        (A = B * aps-per-br APs)
+// The supervisor exits once every MH reports Done (broadcasting Stop on
+// the way out); MHs exit when they see Stop; BRs and APs serve until Stop
+// arrives or SIGINT. Exit status 0 = clean shutdown.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/event_loop.hpp"
+#include "runtime/node.hpp"
+#include "runtime/udp_transport.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+using namespace ringnet;
+using namespace ringnet::runtime;
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_sigint(int) { g_interrupted = 1; }
+
+constexpr NodeId kSupervisorId{0x00FFFFFEu};
+
+struct Cli {
+  std::string role;  // ss | br | ap | mh
+  std::size_t index = 0;
+  std::size_t brs = 2;
+  std::size_t aps_per_br = 2;
+  std::size_t mhs_per_ap = 8;
+  std::uint32_t host = kLoopbackHost;
+  std::uint16_t port_base = 29000;
+  double rate_hz = 50.0;
+  std::uint32_t msgs = 40;
+  double time_scale = 1.0;
+  std::int64_t tick_us = 1000;
+  double duration_secs = 0.0;  // br/ap fallback exit; 0 = until Stop/SIGINT
+};
+
+[[noreturn]] void usage_and_exit(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s --role ss|br|ap|mh --index N [--brs N] [--aps-per-br N]\n"
+      "          [--mhs-per-ap N] [--port-base P] [--host A.B.C.D]\n"
+      "          [--rate HZ] [--msgs N] [--time-scale F] [--duration SECS]\n",
+      prog);
+  std::exit(2);
+}
+
+std::uint32_t parse_host(const std::string& dotted, const char* prog) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    usage_and_exit(prog);
+  }
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    const auto num = [&](const std::string& v) -> std::uint64_t {
+      char* end = nullptr;
+      const std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+      if (v.empty() || v[0] == '-' || end == v.c_str() || *end != '\0') {
+        usage_and_exit(argv[0]);
+      }
+      return n;
+    };
+    if (arg == "--role") {
+      cli.role = value();
+    } else if (arg == "--index") {
+      cli.index = num(value());
+    } else if (arg == "--brs") {
+      cli.brs = num(value());
+    } else if (arg == "--aps-per-br") {
+      cli.aps_per_br = num(value());
+    } else if (arg == "--mhs-per-ap") {
+      cli.mhs_per_ap = num(value());
+    } else if (arg == "--port-base") {
+      cli.port_base = static_cast<std::uint16_t>(num(value()));
+    } else if (arg == "--host") {
+      cli.host = parse_host(value(), argv[0]);
+    } else if (arg == "--rate") {
+      cli.rate_hz = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--msgs") {
+      cli.msgs = static_cast<std::uint32_t>(num(value()));
+    } else if (arg == "--time-scale") {
+      cli.time_scale = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--tick-us") {
+      cli.tick_us = static_cast<std::int64_t>(num(value()));
+    } else if (arg == "--duration") {
+      cli.duration_secs = std::strtod(value().c_str(), nullptr);
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (cli.role != "ss" && cli.role != "br" && cli.role != "ap" &&
+      cli.role != "mh") {
+    usage_and_exit(argv[0]);
+  }
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  const std::size_t n_ap = cli.brs * cli.aps_per_br;
+  const std::size_t n_mh = n_ap * cli.mhs_per_ap;
+
+  std::vector<NodeId> brs, aps, mhs, all;
+  auto book = std::make_shared<AddressBook>();
+  std::uint16_t port = cli.port_base;
+  book->set(kSupervisorId, Endpoint{cli.host, port++});
+  for (std::size_t i = 0; i < cli.brs; ++i) {
+    brs.push_back(NodeId::make(Tier::BR, static_cast<std::uint32_t>(i)));
+    book->set(brs.back(), Endpoint{cli.host, port++});
+  }
+  for (std::size_t a = 0; a < n_ap; ++a) {
+    aps.push_back(NodeId::make(Tier::AP, static_cast<std::uint32_t>(a)));
+    book->set(aps.back(), Endpoint{cli.host, port++});
+  }
+  for (std::size_t m = 0; m < n_mh; ++m) {
+    mhs.push_back(NodeId::make(Tier::MH, static_cast<std::uint32_t>(m)));
+    book->set(mhs.back(), Endpoint{cli.host, port++});
+  }
+  all = brs;
+  all.insert(all.end(), aps.begin(), aps.end());
+  all.insert(all.end(), mhs.begin(), mhs.end());
+
+  RuntimeOptions opts;
+  opts.scale_timers(cli.time_scale);
+  const double rate = cli.rate_hz / cli.time_scale;
+  const std::int64_t tick_us =
+      static_cast<std::int64_t>(cli.tick_us * cli.time_scale);
+
+  NodeId self;
+  if (cli.role == "ss") {
+    self = kSupervisorId;
+  } else if (cli.role == "br" && cli.index < cli.brs) {
+    self = brs[cli.index];
+  } else if (cli.role == "ap" && cli.index < n_ap) {
+    self = aps[cli.index];
+  } else if (cli.role == "mh" && cli.index < n_mh) {
+    self = mhs[cli.index];
+  } else {
+    std::fprintf(stderr, "--index out of range for role %s\n",
+                 cli.role.c_str());
+    return 2;
+  }
+  const auto ep = *book->find(self);
+  UdpTransport transport(self, book, ep.port, cli.host);
+
+  std::unique_ptr<RuntimeNode> node;
+  MhRuntime* mh_node = nullptr;
+  SsRuntime* ss_node = nullptr;
+  BrRuntime* br_node = nullptr;
+  ApRuntime* ap_node = nullptr;
+  if (cli.role == "ss") {
+    SsConfig cfg;
+    cfg.self = self;
+    cfg.all_nodes = all;
+    cfg.expected_ready = all.size();
+    cfg.expected_done = n_mh;
+    cfg.opts = opts;
+    auto owned = std::make_unique<SsRuntime>(cfg, transport);
+    ss_node = owned.get();
+    node = std::move(owned);
+  } else if (cli.role == "br") {
+    BrConfig cfg;
+    cfg.self = self;
+    cfg.ss = kSupervisorId;
+    cfg.ring = brs;
+    for (std::size_t a = 0; a < n_ap; ++a) {
+      if (a / cli.aps_per_br == cli.index) cfg.own_aps.push_back(aps[a]);
+    }
+    for (std::size_t m = 0; m < n_mh; ++m) {
+      const std::size_t a = m / cli.mhs_per_ap;
+      if (a / cli.aps_per_br != cli.index) continue;
+      cfg.members.push_back(mhs[m]);
+      cfg.member_ap.push_back(aps[a]);
+    }
+    cfg.opts = opts;
+    auto owned = std::make_unique<BrRuntime>(std::move(cfg), transport);
+    br_node = owned.get();
+    node = std::move(owned);
+  } else if (cli.role == "ap") {
+    ApConfig cfg;
+    cfg.self = self;
+    cfg.br = brs[cli.index / cli.aps_per_br];
+    cfg.ss = kSupervisorId;
+    for (std::size_t m = 0; m < n_mh; ++m) {
+      if (m / cli.mhs_per_ap == cli.index) cfg.attached.push_back(mhs[m]);
+    }
+    cfg.opts = opts;
+    auto owned = std::make_unique<ApRuntime>(std::move(cfg), transport);
+    ap_node = owned.get();
+    node = std::move(owned);
+  } else {
+    MhConfig cfg;
+    cfg.self = self;
+    cfg.source_id = NodeId{static_cast<std::uint32_t>(cli.index)};
+    cfg.ap = aps[cli.index / cli.mhs_per_ap];
+    cfg.ss = kSupervisorId;
+    cfg.rate_hz = rate;
+    cfg.msgs_to_send = cli.msgs;
+    cfg.expected_total = static_cast<std::uint64_t>(n_mh) * cli.msgs;
+    cfg.submit_phase_us = rate > 0
+                              ? static_cast<std::int64_t>(cli.index) *
+                                    static_cast<std::int64_t>(1e6 / rate) /
+                                    static_cast<std::int64_t>(n_mh)
+                              : 0;
+    cfg.opts = opts;
+    auto owned = std::make_unique<MhRuntime>(std::move(cfg), transport);
+    mh_node = owned.get();
+    node = std::move(owned);
+  }
+
+  std::signal(SIGINT, on_sigint);
+  std::signal(SIGTERM, on_sigint);
+  util::WallClock clock;
+  NodeLoop loop(*node, transport, clock, tick_us);
+  loop.start();
+  std::printf("ringnet_node %s[%zu] up on %u.%u.%u.%u:%u (%zu nodes total)\n",
+              cli.role.c_str(), cli.index, (cli.host >> 24) & 255,
+              (cli.host >> 16) & 255, (cli.host >> 8) & 255, cli.host & 255,
+              ep.port, all.size() + 1);
+  std::fflush(stdout);
+
+  const std::int64_t deadline =
+      cli.duration_secs > 0
+          ? clock.now_us() + static_cast<std::int64_t>(cli.duration_secs * 1e6)
+          : 0;
+  while (!g_interrupted) {
+    clock.sleep_us(50'000);
+    if (ss_node && ss_node->all_done()) {
+      ss_node->request_stop();
+      clock.sleep_us(4 * opts.handshake_resend_us);  // let Stop fan out
+      break;
+    }
+    if (mh_node && mh_node->stop_seen()) break;
+    if (br_node && br_node->stop_seen()) break;
+    if (ap_node && ap_node->stop_seen()) break;
+    if (deadline != 0 && clock.now_us() >= deadline) break;
+  }
+  loop.stop();
+
+  if (mh_node) {
+    std::printf("ringnet_node mh[%zu]: delivered=%llu submitted=%llu "
+                "really_lost=%llu\n",
+                cli.index,
+                static_cast<unsigned long long>(mh_node->delivered_count()),
+                static_cast<unsigned long long>(mh_node->submitted_count()),
+                static_cast<unsigned long long>(
+                    mh_node->counters().really_lost));
+  }
+  std::printf("ringnet_node %s[%zu]: sent=%llu received=%llu malformed=%llu\n",
+              cli.role.c_str(), cli.index,
+              static_cast<unsigned long long>(transport.sent()),
+              static_cast<unsigned long long>(transport.received()),
+              static_cast<unsigned long long>(transport.dropped_malformed()));
+  return 0;
+}

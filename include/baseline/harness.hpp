@@ -8,6 +8,8 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/protocol.hpp"
@@ -46,6 +48,10 @@ struct RunSpec {
   // classic single-context simulation.
   bool shard = false;
   std::size_t shard_threads = 0;
+  // Copy the per-MH delivery sequences into RunResult::deliveries (memory ~
+  // deliveries; meant for short scripted runs used as cross-execution
+  // oracles, e.g. the loopback-runtime comparison).
+  bool export_deliveries = false;
 };
 
 struct RunResult {
@@ -86,6 +92,19 @@ struct RunResult {
   std::uint64_t tokens_dropped = 0;
   // Correctness
   std::optional<std::string> order_violation;
+  // Filled when spec.export_deliveries: total submissions and each MH's
+  // delivery sequence in delivery order (MH-index major).
+  std::uint64_t total_sent = 0;
+  std::vector<core::DeliveryLog::Rec> deliveries_flat;
+  std::vector<std::size_t> deliveries_offsets;  // per-MH [begin, end) bounds
+
+  /// Per-MH slice of deliveries_flat (valid while this result is alive).
+  std::pair<const core::DeliveryLog::Rec*, std::size_t> deliveries_of(
+      std::size_t mh_index) const {
+    const std::size_t b = deliveries_offsets[mh_index];
+    const std::size_t e = deliveries_offsets[mh_index + 1];
+    return {deliveries_flat.data() + b, e - b};
+  }
 };
 
 using RunHook =

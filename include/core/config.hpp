@@ -33,6 +33,10 @@ struct SourceConfig {
   // Per-sender rate skew: source i carries weight (i+1)^-skew, normalized
   // to mean 1 so the aggregate rate stays s*lambda. 0 = uniform senders.
   double sender_skew = 0.0;
+  // Count-bounded workload: each source stops after this many submissions
+  // (0 = unbounded). Scripted finite runs — e.g. the loopback-runtime
+  // oracle comparison — need every execution to carry the same message set.
+  std::uint64_t max_messages = 0;
 };
 
 struct MobilityConfig {

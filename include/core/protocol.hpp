@@ -85,6 +85,12 @@ class GroupView {
 /// member observes the same total order. Dense-indexed by MH index.
 class DeliveryLog {
  public:
+  struct Rec {
+    GlobalSeq gseq;
+    NodeId source;
+    LocalSeq lseq;
+  };
+
   void reset(const std::vector<NodeId>& mhs) {
     ids_ = mhs;
     per_mh_.assign(mhs.size(), {});
@@ -106,12 +112,10 @@ class DeliveryLog {
   /// each gseq names.
   std::optional<std::string> check_total_order() const;
 
+  /// Raw per-member sequences, MH-index order (oracle-comparison export).
+  const std::vector<std::vector<Rec>>& per_mh() const { return per_mh_; }
+
  private:
-  struct Rec {
-    GlobalSeq gseq;
-    NodeId source;
-    LocalSeq lseq;
-  };
   std::vector<NodeId> ids_;  // index -> NodeId, for diagnostics
   std::vector<std::vector<Rec>> per_mh_;
 };

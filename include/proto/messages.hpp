@@ -90,6 +90,7 @@ enum class MsgType : std::uint8_t {
   DeliveryAck = 3,
   Membership = 4,
   Heartbeat = 5,
+  TokenAck = 6,
 };
 
 /// A multicast payload descriptor. `gseq`/`ordering_node`/`epoch` are
@@ -131,6 +132,16 @@ struct MembershipMsg {
 struct HeartbeatMsg {
   NodeId from;
   std::uint64_t beat = 0;
+};
+
+/// Per-hop receipt for a token frame. The simulator's channels deliver (or
+/// lose) frames atomically so the sim never needs one, but the socket
+/// runtime's token-forward ARQ does: the sender retransmits the token every
+/// retx_timeout until the next ring node acknowledges (serial, rotation).
+struct TokenAckMsg {
+  NodeId from;
+  std::uint64_t serial = 0;
+  std::uint64_t rotation = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -236,13 +247,14 @@ class TokenView {
 class Message {
  public:
   using Body = std::variant<DataMsg, OrderingToken, DeliveryAckMsg,
-                            MembershipMsg, HeartbeatMsg>;
+                            MembershipMsg, HeartbeatMsg, TokenAckMsg>;
 
   Message(DataMsg m) : body_(std::move(m)) {}                 // NOLINT
   Message(OrderingToken m) : body_(std::move(m)) {}           // NOLINT
   Message(DeliveryAckMsg m) : body_(std::move(m)) {}          // NOLINT
   Message(MembershipMsg m) : body_(std::move(m)) {}           // NOLINT
   Message(HeartbeatMsg m) : body_(std::move(m)) {}            // NOLINT
+  Message(TokenAckMsg m) : body_(std::move(m)) {}             // NOLINT
 
   MsgType type() const;
   const Body& body() const { return body_; }
@@ -256,6 +268,9 @@ class Message {
   const HeartbeatMsg& heartbeat() const {
     return std::get<HeartbeatMsg>(body_);
   }
+  const TokenAckMsg& token_ack() const {
+    return std::get<TokenAckMsg>(body_);
+  }
 
  private:
   Body body_;
@@ -263,6 +278,10 @@ class Message {
 
 std::vector<std::uint8_t> encode(const Message& msg);
 std::optional<Message> decode(const std::vector<std::uint8_t>& bytes);
+/// Datagram form: decode straight out of a receive buffer without copying
+/// into a vector first. Same contract: nullopt on truncation, trailing
+/// bytes, or any corrupt field — never reads out of bounds.
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size);
 
 /// Wire size of a message without materializing the buffer (used by the
 /// simulator to charge link serialization time).

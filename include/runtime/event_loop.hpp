@@ -1,0 +1,75 @@
+#pragma once
+// Threaded per-node event loop. Each node runs three threads behind the
+// annotated util::sync primitives:
+//   rx thread       — blocks in Transport::recv, pushes datagrams into the
+//                     inbox
+//   timer thread    — a fixed-cadence ticker (default 1ms) that marks a
+//                     tick pending, driving every wall-clock watchdog
+//   protocol thread — the only thread that touches node state: drains the
+//                     inbox into RuntimeNode::on_datagram and fires
+//                     RuntimeNode::on_tick when a tick is pending
+// The node's role logic is therefore single-threaded by construction; all
+// cross-thread state is RN_GUARDED_BY the loop mutex, and reading node
+// state from outside is safe only after stop() has joined the threads.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+
+#include "runtime/transport.hpp"
+#include "util/annotations.hpp"
+#include "util/clock.hpp"
+#include "util/sync.hpp"
+
+namespace ringnet::runtime {
+
+/// Role logic driven by a NodeLoop. Every method is called from the
+/// protocol thread only, with `now_us` read from the injected clock.
+class RuntimeNode {
+ public:
+  virtual ~RuntimeNode() = default;
+  virtual void on_start(std::int64_t now_us) = 0;
+  virtual void on_datagram(const Datagram& d, std::int64_t now_us) = 0;
+  virtual void on_tick(std::int64_t now_us) = 0;
+};
+
+class NodeLoop {
+ public:
+  NodeLoop(RuntimeNode& node, Transport& transport, util::Clock& clock,
+           std::int64_t tick_us = 1000);
+  ~NodeLoop();
+
+  NodeLoop(const NodeLoop&) = delete;
+  NodeLoop& operator=(const NodeLoop&) = delete;
+
+  void start();
+  /// Signal all three threads and join them. Pending inbox datagrams are
+  /// drained through the node before the protocol thread exits. Idempotent.
+  void stop();
+
+ private:
+  void rx_main();
+  void timer_main() RN_EXCLUDES(mu_);
+  void proto_main() RN_EXCLUDES(mu_);
+
+  RuntimeNode& node_;
+  Transport& transport_;
+  util::Clock& clock_;
+  const std::int64_t tick_us_;
+
+  util::Mutex mu_;
+  util::CondVar work_cv_;   // protocol thread: inbox growth, tick, stop
+  util::CondVar timer_cv_;  // timer thread: stop only
+  std::deque<Datagram> inbox_ RN_GUARDED_BY(mu_);
+  bool tick_pending_ RN_GUARDED_BY(mu_) = false;
+  bool stopping_ RN_GUARDED_BY(mu_) = false;
+  std::atomic<bool> stop_flag_{false};  // rx thread's lock-free exit check
+
+  std::thread rx_thread_;
+  std::thread timer_thread_;
+  std::thread proto_thread_;
+  bool started_ = false;
+};
+
+}  // namespace ringnet::runtime

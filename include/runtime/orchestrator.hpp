@@ -1,0 +1,73 @@
+#pragma once
+// Loopback orchestrator: boots a full Figure-1 deployment (SS + BR ring +
+// APs + MH cells) as real processes-in-miniature — one threaded NodeLoop
+// per node over UDP sockets on 127.0.0.1 (or the in-process transport twin
+// for deterministic tests) — runs a count-bounded scripted workload through
+// the supervisor handshake, and collects per-MH delivery logs plus
+// aggregated counters for comparison against the simulator oracle.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "runtime/inproc_transport.hpp"
+#include "runtime/node.hpp"
+
+namespace ringnet::runtime {
+
+struct LoopbackSpec {
+  // Hierarchy shape (no AG tier in the runtime: BRs serve their APs
+  // directly, the degenerate ags_per_br == 1 configuration of the sim).
+  std::size_t num_brs = 2;
+  std::size_t aps_per_br = 2;
+  std::size_t mhs_per_ap = 8;
+  // Workload: every MH hosts one count-bounded source.
+  double rate_hz = 50.0;
+  std::uint32_t msgs_per_source = 20;
+  std::uint32_t payload_size = 64;
+  RuntimeOptions opts;
+  // Stretches every watchdog and slows the workload uniformly; >1 keeps
+  // sanitizer legs (5-15x slower than real time) inside the same timing
+  // envelope. Fold in with scaled() before reading any field.
+  double time_scale = 1.0;
+  std::int64_t tick_us = 1000;
+  std::int64_t boot_timeout_us = 10'000'000;
+  std::int64_t run_timeout_us = 120'000'000;
+  bool use_udp = true;
+  // Honored only when use_udp is false: scripted losses for watchdog tests.
+  InProcNet::DropHook drop_hook;
+
+  std::size_t n_aps() const { return num_brs * aps_per_br; }
+  std::size_t n_mhs() const { return n_aps() * mhs_per_ap; }
+  std::uint64_t expected_total() const {
+    return static_cast<std::uint64_t>(n_mhs()) * msgs_per_source;
+  }
+};
+
+/// The spec with time_scale folded into every duration (and the source rate
+/// slowed to match); idempotent once time_scale is 1.
+LoopbackSpec scaled(LoopbackSpec spec);
+
+struct LoopbackResult {
+  bool completed = false;  // every MH reported Done before the deadline
+  std::size_t n_mh = 0;
+  std::uint64_t expected_total = 0;
+  // Per-MH delivery sequences (MH global index order) and the same data
+  // loaded into a core::DeliveryLog for check_total_order().
+  std::vector<std::vector<DeliveredRec>> per_mh;
+  std::vector<std::uint64_t> delivered_counts;
+  core::DeliveryLog log;
+  std::optional<std::string> order_violation;
+  std::vector<std::int64_t> latencies_us;  // pooled submit->delivery, all MHs
+  RuntimeCounters counters;                // merged over every node
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_malformed = 0;
+  std::uint64_t send_failures = 0;
+};
+
+LoopbackResult run_loopback(const LoopbackSpec& spec);
+
+}  // namespace ringnet::runtime

@@ -1,0 +1,66 @@
+#pragma once
+// Injected time source for the real-socket runtime. Protocol-facing code
+// never reads the OS clock directly: it asks a util::Clock, so the sim can
+// substitute virtual time and tests can substitute a ManualClock. This
+// header (plus runtime/) is the only place allowed to read a wall clock —
+// the RN006 lint rule enforces the boundary so core/ stays
+// simulation-deterministic.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace ringnet::util {
+
+/// Monotonic microsecond time source. now_us() is relative to an arbitrary
+/// per-instance origin; only differences are meaningful.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t now_us() = 0;
+  virtual void sleep_us(std::int64_t us) = 0;
+};
+
+/// The real monotonic clock, rebased to 0 at construction so timestamps
+/// stay small and diffable in traces.
+class WallClock final : public Clock {
+ public:
+  WallClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  std::int64_t now_us() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  void sleep_us(std::int64_t us) override {
+    if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Hand-advanced clock for deterministic unit tests of timer logic.
+/// sleep_us() advances the clock instead of blocking, so a test driving a
+/// watchdog loop runs in virtual time.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(std::int64_t start_us = 0) : now_(start_us) {}
+
+  std::int64_t now_us() override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void sleep_us(std::int64_t us) override { advance(us); }
+
+  void advance(std::int64_t us) {
+    if (us > 0) now_.fetch_add(us, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_;
+};
+
+}  // namespace ringnet::util

@@ -7,7 +7,9 @@
 // the repo locks through Mutex/MutexLock so the analysis has full
 // visibility; std::mutex stays fine in code that is not annotated.
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/annotations.hpp"
@@ -66,6 +68,18 @@ class CondVar {
     std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
     cv_.wait(lk);
     lk.release();
+  }
+
+  /// wait() with a relative deadline: returns true when notified, false on
+  /// timeout. Same capability contract as wait(). Used by the runtime's
+  /// timer threads (a duration-bounded block is not a wall-clock *read*,
+  /// so this stays outside the RN006 boundary).
+  bool wait_for_us(Mutex& mu, std::int64_t timeout_us) RN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    const auto status =
+        cv_.wait_for(lk, std::chrono::microseconds(timeout_us));
+    lk.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() { cv_.notify_one(); }

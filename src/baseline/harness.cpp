@@ -140,6 +140,17 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
   if (proto.config().options.ordered && proto.config().record_deliveries) {
     out.order_violation = proto.deliveries().check_total_order();
   }
+  out.total_sent = proto.total_sent();
+  if (spec.export_deliveries) {
+    const auto& per_mh = proto.deliveries().per_mh();
+    out.deliveries_offsets.reserve(per_mh.size() + 1);
+    out.deliveries_offsets.push_back(0);
+    for (const auto& recs : per_mh) {
+      out.deliveries_flat.insert(out.deliveries_flat.end(), recs.begin(),
+                                 recs.end());
+      out.deliveries_offsets.push_back(out.deliveries_flat.size());
+    }
+  }
   return out;
 }
 

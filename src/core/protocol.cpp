@@ -240,6 +240,10 @@ void RingNetProtocol::source_tick(std::size_t idx, std::uint64_t gen) {
   SourceState& src = sources_[idx];
   if (gen != src.gen) return;  // superseded by a migration respawn
   if (!sources_running_) return;
+  if (config_.source.max_messages > 0 &&
+      src.next_lseq >= config_.source.max_messages) {
+    return;  // count-bounded source exhausted (no reschedule)
+  }
   proto::DataMsg msg;
   msg.gid = kGroup;
   msg.source = src.source_id;

@@ -166,6 +166,7 @@ MsgType Message::type() const {
       return MsgType::Membership;
     }
     MsgType operator()(const HeartbeatMsg&) const { return MsgType::Heartbeat; }
+    MsgType operator()(const TokenAckMsg&) const { return MsgType::TokenAck; }
   };
   return std::visit(Visitor{}, body_);
 }
@@ -265,6 +266,24 @@ std::optional<Message> decode_heartbeat(WireReader& r) {
   return Message(m);
 }
 
+void encode_body(const TokenAckMsg& m, WireWriter& w) {
+  w.node(m.from);
+  w.u64(m.serial);
+  w.u64(m.rotation);
+}
+
+std::optional<Message> decode_token_ack(WireReader& r) {
+  const auto from = r.node();
+  const auto serial = r.u64();
+  const auto rotation = r.u64();
+  if (!from || !serial || !rotation) return std::nullopt;
+  TokenAckMsg m;
+  m.from = *from;
+  m.serial = *serial;
+  m.rotation = *rotation;
+  return Message(m);
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Message& msg) {
@@ -277,13 +296,14 @@ std::vector<std::uint8_t> encode(const Message& msg) {
     void operator()(const DeliveryAckMsg& m) const { encode_body(m, w); }
     void operator()(const MembershipMsg& m) const { encode_body(m, w); }
     void operator()(const HeartbeatMsg& m) const { encode_body(m, w); }
+    void operator()(const TokenAckMsg& m) const { encode_body(m, w); }
   };
   std::visit(Visitor{w}, msg.body());
   return w.take();
 }
 
-std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
-  WireReader r(bytes);
+std::optional<Message> decode(const std::uint8_t* data, std::size_t size) {
+  WireReader r(data, size);
   const auto type = r.u8();
   if (!type) return std::nullopt;
   std::optional<Message> out;
@@ -305,11 +325,18 @@ std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
     case MsgType::Heartbeat:
       out = decode_heartbeat(r);
       break;
+    case MsgType::TokenAck:
+      out = decode_token_ack(r);
+      break;
     default:
       return std::nullopt;
   }
   if (!out || !r.exhausted()) return std::nullopt;
   return out;
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& bytes) {
+  return decode(bytes.data(), bytes.size());
 }
 
 std::size_t wire_size(const Message& msg) {
@@ -326,6 +353,7 @@ std::size_t wire_size(const Message& msg) {
       body = 12 + m.events.size() * 8;
     }
     void operator()(const HeartbeatMsg&) const { body = 12; }
+    void operator()(const TokenAckMsg&) const { body = 20; }
   };
   std::visit(Visitor{body}, msg.body());
   return 1 + body;

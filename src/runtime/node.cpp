@@ -1,0 +1,683 @@
+#include "runtime/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ringnet::runtime {
+
+namespace {
+/// Downlink/peer resend batch per ack: bounds the burst a single stuck
+/// member can trigger while still closing multi-message gaps quickly.
+constexpr GlobalSeq kResendWindow = 64;
+constexpr std::size_t kUplinkPendingCap = 4096;
+// Consecutive no-progress acks before a member counts as stalled. One
+// stalled ack is routinely just pipeline lag (deliveries in flight through
+// the AP); resyncing on it floods the cell with duplicates, and the storm
+// feeds back into deeper inboxes and more apparent stalls.
+constexpr std::uint32_t kStallAckLimit = 4;
+}  // namespace
+
+void RuntimeOptions::scale_timers(double f) {
+  const auto scale = [f](std::int64_t& us) {
+    us = static_cast<std::int64_t>(static_cast<double>(us) * f);
+  };
+  scale(token_hold_us);
+  scale(ack_period_us);
+  scale(heartbeat_period_us);
+  scale(retx_timeout_us);
+  scale(handshake_resend_us);
+}
+
+void RuntimeCounters::merge(const RuntimeCounters& o) {
+  tokens_held += o.tokens_held;
+  token_regenerated += o.token_regenerated;
+  token_dup_destroyed += o.token_dup_destroyed;
+  token_retx += o.token_retx;
+  token_dropped += o.token_dropped;
+  retransmits += o.retransmits;
+  floor_advances += o.floor_advances;
+  duplicates += o.duplicates;
+  acks_sent += o.acks_sent;
+  uplink_retx += o.uplink_retx;
+  uplink_dropped += o.uplink_dropped;
+  really_lost += o.really_lost;
+  gaps_skipped += o.gaps_skipped;
+  malformed += o.malformed;
+}
+
+// ---------------------------------------------------------------------------
+// BrRuntime
+
+BrRuntime::BrRuntime(BrConfig cfg, Transport& tr)
+    : cfg_(std::move(cfg)), tr_(tr) {
+  for (std::size_t i = 0; i < cfg_.members.size(); ++i) {
+    members_[cfg_.members[i].v] = Member{cfg_.member_ap[i], 0, 0, 0,
+                                         kNeverUs};
+  }
+}
+
+NodeId BrRuntime::next_br() const {
+  for (std::size_t i = 0; i < cfg_.ring.size(); ++i) {
+    if (cfg_.ring[i] == cfg_.self) {
+      return cfg_.ring[(i + 1) % cfg_.ring.size()];
+    }
+  }
+  return cfg_.self;
+}
+
+void BrRuntime::on_start(std::int64_t now_us) {
+  last_token_seen_us_ = now_us;
+  next_hb_us_ = now_us + cfg_.opts.heartbeat_period_us;
+  next_ready_us_ = now_us + cfg_.opts.handshake_resend_us;
+  tr_.send_control(cfg_.ss, ControlMsg{ControlOp::Ready, 0});
+  if (leader()) {
+    // The leader seeds the first token; peer sockets are already bound (the
+    // orchestrator binds every transport before starting any loop), so the
+    // forward ARQ covers peers whose loops lag behind.
+    proto::OrderingToken t(kRuntimeGroup, epoch_);
+    t.set_serial(1);
+    last_rx_key_ = TokenKey{t.epoch(), t.serial(), t.rotation(), true};
+    accept_token(std::move(t), now_us);
+  }
+}
+
+void BrRuntime::on_datagram(const Datagram& d, std::int64_t now_us) {
+  if (d.kind == FrameKind::Control) {
+    const auto ctl = decode_control(d.payload.data(), d.payload.size());
+    if (!ctl) {
+      ++counters_.malformed;
+      return;
+    }
+    if (ctl->op == ControlOp::Start) start_seen_ = true;
+    if (ctl->op == ControlOp::Stop) {
+      stop_seen_.store(true, std::memory_order_release);
+    }
+    return;
+  }
+  handle_proto(d, now_us);
+}
+
+void BrRuntime::handle_proto(const Datagram& d, std::int64_t now_us) {
+  auto msg = proto::decode(d.payload.data(), d.payload.size());
+  if (!msg) {
+    ++counters_.malformed;
+    return;
+  }
+  switch (msg->type()) {
+    case proto::MsgType::Data: {
+      const proto::DataMsg& dm = msg->data();
+      if (dm.ordering_node.valid()) {
+        store_and_forward_ordered(dm, now_us);
+      } else {
+        handle_uplink(dm);
+      }
+      break;
+    }
+    case proto::MsgType::Token:
+      handle_token(msg->token(), d.src, now_us);
+      break;
+    case proto::MsgType::TokenAck: {
+      const proto::TokenAckMsg& ack = msg->token_ack();
+      if (await_.active && ack.serial == await_.serial &&
+          ack.rotation == await_.rotation) {
+        await_.active = false;
+      }
+      break;
+    }
+    case proto::MsgType::DeliveryAck:
+      handle_member_ack(msg->ack(), now_us);
+      break;
+    case proto::MsgType::Membership: {
+      const proto::MembershipMsg& mm = msg->membership();
+      for (const auto& ev : mm.events) {
+        if (!ev.ap.valid()) {
+          members_.erase(ev.mh.v);
+          continue;
+        }
+        const bool ours = std::find(cfg_.own_aps.begin(), cfg_.own_aps.end(),
+                                    ev.ap) != cfg_.own_aps.end();
+        if (!ours) continue;
+        auto [it, inserted] = members_.try_emplace(
+            ev.mh.v, Member{ev.ap, 0, 0, 0, kNeverUs});
+        if (!inserted) it->second.ap = ev.ap;  // handoff: keep the watermark
+      }
+      if (d.src.tier() == Tier::AP) {
+        for (NodeId peer : cfg_.ring) {
+          if (peer != cfg_.self) tr_.send_msg(peer, proto::Message(mm));
+        }
+      }
+      break;
+    }
+    case proto::MsgType::Heartbeat:
+      break;
+  }
+}
+
+void BrRuntime::handle_uplink(const proto::DataMsg& msg) {
+  SourceIn& si = uplink_[msg.source.v];
+  if (msg.lseq < si.next_expected) {
+    ++counters_.duplicates;
+    return;
+  }
+  if (msg.lseq == si.next_expected) {
+    staging_.push_back(msg);
+    ++si.next_expected;
+    auto it = si.pending.find(si.next_expected);
+    while (it != si.pending.end()) {
+      staging_.push_back(std::move(it->second));
+      si.pending.erase(it);
+      ++si.next_expected;
+      it = si.pending.find(si.next_expected);
+    }
+    return;
+  }
+  if (si.pending.size() >= kUplinkPendingCap) return;  // source ARQ re-offers
+  if (!si.pending.emplace(msg.lseq, msg).second) ++counters_.duplicates;
+}
+
+void BrRuntime::store_and_forward_ordered(const proto::DataMsg& msg,
+                                          std::int64_t now_us) {
+  // Fast epoch fencing: an ordered message from a newer epoch proves a
+  // regeneration happened, so any older token still circulating must be
+  // destroyed on sight even before the new token reaches us.
+  epoch_ = std::max(epoch_, msg.epoch);
+  // Liveness witness: a current-epoch assignment can only come from the
+  // live token, so the regeneration watchdog must not fire merely because
+  // the token itself is crawling behind storm-deep inboxes.
+  if (msg.epoch == epoch_) last_token_seen_us_ = now_us;
+  if (!mq_.insert(msg.gseq, msg)) {
+    ++counters_.duplicates;
+    return;
+  }
+  if (!any_seen_ || msg.gseq > max_seen_gseq_) {
+    max_seen_gseq_ = msg.gseq;
+    any_seen_ = true;
+  }
+  mq_.prune_to(cfg_.opts.mq_retention);
+  for (NodeId ap : cfg_.own_aps) tr_.send_msg(ap, proto::Message(msg));
+}
+
+void BrRuntime::handle_token(proto::OrderingToken token, NodeId from,
+                             std::int64_t now_us) {
+  // Ack every token frame, even duplicates: the sender's ARQ keys on
+  // (serial, rotation) and a lost ack must not keep it retransmitting.
+  tr_.send_msg(from, proto::Message(proto::TokenAckMsg{
+                         cfg_.self, token.serial(), token.rotation()}));
+  if (token.epoch() < epoch_) {
+    ++counters_.token_dup_destroyed;
+    return;
+  }
+  // Accept only a strictly newer visit of the same lineage: retransmits
+  // (same rotation) and stale re-injections (lower rotation) are destroyed.
+  if (last_rx_key_.valid && token.epoch() == last_rx_key_.epoch &&
+      token.serial() == last_rx_key_.serial &&
+      token.rotation() <= last_rx_key_.rotation) {
+    ++counters_.token_dup_destroyed;
+    return;
+  }
+  epoch_ = std::max(epoch_, token.epoch());
+  last_rx_key_ =
+      TokenKey{token.epoch(), token.serial(), token.rotation(), true};
+  accept_token(std::move(token), now_us);
+}
+
+void BrRuntime::accept_token(proto::OrderingToken token, std::int64_t now_us) {
+  has_token_ = true;
+  token_ = std::move(token);
+  last_token_seen_us_ = now_us;
+  await_.active = false;  // custody is back; any outstanding forward is moot
+  ++counters_.tokens_held;
+  if (leader()) token_.bump_rotation();
+  token_.prune_entries_of(cfg_.self);
+  release_deadline_us_ = now_us + cfg_.opts.token_hold_us;
+  assign_staged(now_us);
+}
+
+void BrRuntime::assign_staged(std::int64_t now_us) {
+  while (!staging_.empty()) {
+    proto::DataMsg m = std::move(staging_.front());
+    staging_.pop_front();
+    m.gseq = token_.append_range(cfg_.self, m.source, m.lseq, m.lseq);
+    m.ordering_node = cfg_.self;
+    m.epoch = token_.epoch();
+    ++assigned_;
+    store_and_forward_ordered(m, now_us);
+    for (NodeId peer : cfg_.ring) {
+      if (peer != cfg_.self) tr_.send_msg(peer, proto::Message(m));
+    }
+  }
+}
+
+void BrRuntime::release_token(std::int64_t now_us) {
+  if (!has_token_) return;
+  auto bytes =
+      frame(cfg_.self, FrameKind::Proto, proto::encode(proto::Message(token_)));
+  await_ = AwaitedAck{true, token_.serial(), token_.rotation(),
+                      std::move(bytes), 0,
+                      now_us + cfg_.opts.retx_timeout_us};
+  tr_.send(next_br(), await_.frame_bytes);
+  has_token_ = false;
+}
+
+void BrRuntime::regenerate_token(std::int64_t now_us) {
+  ++epoch_;
+  proto::OrderingToken t(kRuntimeGroup, epoch_);
+  t.set_serial(next_serial_++);
+  t.set_next_gseq(any_seen_ ? max_seen_gseq_ + 1 : 0);
+  ++counters_.token_regenerated;
+  last_rx_key_ = TokenKey{t.epoch(), t.serial(), t.rotation(), true};
+  accept_token(std::move(t), now_us);
+}
+
+void BrRuntime::handle_member_ack(const proto::DeliveryAckMsg& ack,
+                                  std::int64_t now_us) {
+  if (ack.member.tier() == Tier::BR) {
+    // Peer-BR gap repair: a peer lost an ordered frame we assigned and asks
+    // for the window starting at its hole. Serve whatever the MQ retains.
+    for (GlobalSeq g = ack.watermark;
+         g <= max_seen_gseq_ && g < ack.watermark + kResendWindow; ++g) {
+      if (!any_seen_) break;
+      if (const proto::DataMsg* m = mq_.find(g)) {
+        tr_.send_msg(ack.member, proto::Message(*m));
+        ++counters_.retransmits;
+      }
+    }
+    return;
+  }
+  const auto it = members_.find(ack.member.v);
+  if (it == members_.end()) return;
+  Member& m = it->second;
+  m.next_expected = std::max(m.next_expected, ack.watermark);
+  // Only a *stalled* member needs resync: kStallAckLimit consecutive acks
+  // with no watermark progress while assignments it lacks exist. A merely
+  // lagging member (deliveries in flight through the AP) would turn every
+  // resend into a duplicate at the MH.
+  const bool behind = any_seen_ && m.next_expected <= max_seen_gseq_;
+  if (!behind || ack.watermark > m.prev_ack_wm) {
+    m.prev_ack_wm = std::max(m.prev_ack_wm, ack.watermark);
+    m.stalled_acks = 0;
+    return;
+  }
+  if (++m.stalled_acks < kStallAckLimit) return;
+  if (now_us - m.last_resend_us < cfg_.opts.retx_timeout_us) return;
+  m.stalled_acks = 0;
+  m.last_resend_us = now_us;
+  const GlobalSeq want = m.next_expected;
+  if (want < mq_.base()) {
+    // The MQ no longer retains the member's gap: push its floor forward so
+    // it gap-skips (those messages are "really lost" for this member).
+    tr_.send_msg(m.ap,
+                 proto::Message(proto::DeliveryAckMsg{kRuntimeGroup,
+                                                      ack.member, mq_.base()}),
+                 ack.member);
+    ++counters_.floor_advances;
+    return;
+  }
+  bool pull_requested = false;
+  for (GlobalSeq g = want; g <= max_seen_gseq_ && g < want + kResendWindow;
+       ++g) {
+    if (const proto::DataMsg* dm = mq_.find(g)) {
+      tr_.send_msg(m.ap, proto::Message(*dm), ack.member);
+      ++counters_.retransmits;
+    } else if (!pull_requested &&
+               now_us - last_pull_us_ >= cfg_.opts.retx_timeout_us) {
+      // Our own MQ has a hole (a lost peer-BR distribution): ask the ring
+      // to refill it before the member can make progress. One pull per
+      // retx window for the whole BR — many stalled members share a hole.
+      pull_requested = true;
+      last_pull_us_ = now_us;
+      for (NodeId peer : cfg_.ring) {
+        if (peer != cfg_.self) {
+          tr_.send_msg(peer, proto::Message(proto::DeliveryAckMsg{
+                                 kRuntimeGroup, cfg_.self, g}));
+        }
+      }
+    }
+  }
+}
+
+void BrRuntime::on_tick(std::int64_t now_us) {
+  if (!start_seen_ && now_us >= next_ready_us_) {
+    tr_.send_control(cfg_.ss, ControlMsg{ControlOp::Ready, 0});
+    next_ready_us_ = now_us + cfg_.opts.handshake_resend_us;
+  }
+  if (has_token_) {
+    assign_staged(now_us);  // uplink that arrived during the hold window
+    if (now_us >= release_deadline_us_) release_token(now_us);
+  }
+  if (await_.active && now_us >= await_.next_resend_us) {
+    if (await_.attempts >= cfg_.opts.max_retx) {
+      await_.active = false;
+      ++counters_.token_dropped;  // leader watchdog regenerates
+    } else {
+      ++await_.attempts;
+      ++counters_.token_retx;
+      tr_.send(next_br(), await_.frame_bytes);
+      await_.next_resend_us = now_us + cfg_.opts.retx_timeout_us;
+    }
+  }
+  if (now_us >= next_hb_us_) {
+    tr_.send_msg(cfg_.ss,
+                 proto::Message(proto::HeartbeatMsg{cfg_.self, ++hb_beat_}));
+    next_hb_us_ = now_us + cfg_.opts.heartbeat_period_us;
+  }
+  if (leader() && !has_token_ &&
+      now_us - last_token_seen_us_ >= cfg_.opts.token_regen_timeout_us()) {
+    regenerate_token(now_us);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ApRuntime
+
+ApRuntime::ApRuntime(ApConfig cfg, Transport& tr)
+    : cfg_(std::move(cfg)), tr_(tr), attached_(cfg_.attached) {
+  for (NodeId mh : attached_) attached_set_.insert(mh.v);
+}
+
+void ApRuntime::on_start(std::int64_t now_us) {
+  next_ready_us_ = now_us + cfg_.opts.handshake_resend_us;
+  tr_.send_control(cfg_.ss, ControlMsg{ControlOp::Ready, 0});
+}
+
+void ApRuntime::on_datagram(const Datagram& d, std::int64_t /*now_us*/) {
+  if (d.kind == FrameKind::Control) {
+    const auto ctl = decode_control(d.payload.data(), d.payload.size());
+    if (!ctl) {
+      ++counters_.malformed;
+      return;
+    }
+    if (ctl->op == ControlOp::Start) start_seen_ = true;
+    if (ctl->op == ControlOp::Stop) {
+      stop_seen_.store(true, std::memory_order_release);
+    }
+    return;
+  }
+  if (d.payload.empty()) {
+    ++counters_.malformed;
+    return;
+  }
+  // The AP is a store-less relay: it peeks the envelope tag to pick a
+  // direction and forwards the payload bytes untouched (no decode/re-encode
+  // on the hot path). Only membership deltas are decoded, to track the cell.
+  const auto forward = [&](NodeId to) {
+    tr_.send(to, frame(cfg_.self, FrameKind::Proto, d.payload));
+  };
+  const auto type = static_cast<proto::MsgType>(d.payload[0]);
+  const bool uplink = d.src.tier() == Tier::MH;
+  switch (type) {
+    case proto::MsgType::Data:
+    case proto::MsgType::DeliveryAck:
+      if (uplink) {
+        forward(cfg_.br);
+      } else if (d.relay.valid()) {
+        forward(d.relay);  // targeted retransmission to one member
+      } else {
+        for (NodeId mh : attached_) forward(mh);
+      }
+      break;
+    case proto::MsgType::Membership: {
+      if (!uplink) break;
+      const auto msg = proto::decode(d.payload.data(), d.payload.size());
+      if (!msg) {
+        ++counters_.malformed;
+        return;
+      }
+      for (const auto& ev : msg->membership().events) {
+        if (ev.ap == cfg_.self) {
+          if (attached_set_.insert(ev.mh.v).second) attached_.push_back(ev.mh);
+        } else if (attached_set_.erase(ev.mh.v) != 0) {
+          attached_.erase(
+              std::remove(attached_.begin(), attached_.end(), ev.mh),
+              attached_.end());
+        }
+      }
+      forward(cfg_.br);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ApRuntime::on_tick(std::int64_t now_us) {
+  if (!start_seen_ && now_us >= next_ready_us_) {
+    tr_.send_control(cfg_.ss, ControlMsg{ControlOp::Ready, 0});
+    next_ready_us_ = now_us + cfg_.opts.handshake_resend_us;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MhRuntime
+
+MhRuntime::MhRuntime(MhConfig cfg, Transport& tr)
+    : cfg_(std::move(cfg)), tr_(tr) {
+  period_us_ = cfg_.rate_hz > 0
+                   ? static_cast<std::int64_t>(1e6 / cfg_.rate_hz)
+                   : 0;
+}
+
+void MhRuntime::on_start(std::int64_t now_us) {
+  next_ready_us_ = now_us + cfg_.opts.handshake_resend_us;
+  next_ack_us_ = now_us + cfg_.opts.ack_period_us;
+  // Announce attachment up the tree (redundant with boot membership, but it
+  // exercises the membership path end to end on every run).
+  tr_.send_msg(cfg_.ap,
+               proto::Message(proto::MembershipMsg{
+                   kRuntimeGroup, cfg_.self, {{cfg_.self, cfg_.ap}}}));
+  tr_.send_control(cfg_.ss, ControlMsg{ControlOp::Ready, 0});
+}
+
+void MhRuntime::on_datagram(const Datagram& d, std::int64_t now_us) {
+  if (d.kind == FrameKind::Control) {
+    const auto ctl = decode_control(d.payload.data(), d.payload.size());
+    if (!ctl) {
+      ++counters_.malformed;
+      return;
+    }
+    switch (ctl->op) {
+      case ControlOp::Start:
+        if (!start_seen_) {
+          start_seen_ = true;
+          next_submit_us_ = now_us + cfg_.submit_phase_us;
+        }
+        break;
+      case ControlOp::Stop:
+        stop_seen_.store(true, std::memory_order_release);
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  const auto msg = proto::decode(d.payload.data(), d.payload.size());
+  if (!msg) {
+    ++counters_.malformed;
+    return;
+  }
+  switch (msg->type()) {
+    case proto::MsgType::Data:
+      if (msg->data().ordering_node.valid()) {
+        receive_ordered(msg->data(), now_us);
+      }
+      break;
+    case proto::MsgType::DeliveryAck: {
+      const auto& ack = msg->ack();
+      if (ack.member == cfg_.self && ack.watermark > next_expected_) {
+        gap_skip_to(ack.watermark, now_us);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MhRuntime::receive_ordered(const proto::DataMsg& msg,
+                                std::int64_t now_us) {
+  if (msg.gseq < next_expected_ || !buf_.insert(msg.gseq, msg)) {
+    ++counters_.duplicates;
+    return;
+  }
+  while (const proto::DataMsg* m = buf_.find(next_expected_)) {
+    deliver(*m, now_us);
+    ++next_expected_;
+  }
+  buf_.drop_below(next_expected_);
+}
+
+void MhRuntime::deliver(const proto::DataMsg& msg, std::int64_t now_us) {
+  log_.push_back(DeliveredRec{msg.gseq, msg.source, msg.lseq});
+  ++delivered_;
+  if (msg.source == cfg_.source_id) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->msg.lseq == msg.lseq) {
+        lat_us_.push_back(now_us - it->submitted_us);
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void MhRuntime::gap_skip_to(GlobalSeq floor, std::int64_t now_us) {
+  bool in_gap = false;
+  while (next_expected_ < floor) {
+    if (const proto::DataMsg* m = buf_.find(next_expected_)) {
+      deliver(*m, now_us);
+      in_gap = false;
+    } else {
+      ++counters_.really_lost;
+      if (!in_gap) {
+        ++counters_.gaps_skipped;
+        in_gap = true;
+      }
+    }
+    ++next_expected_;
+  }
+  buf_.drop_below(next_expected_);
+  while (const proto::DataMsg* m = buf_.find(next_expected_)) {
+    deliver(*m, now_us);
+    ++next_expected_;
+  }
+  buf_.drop_below(next_expected_);
+}
+
+void MhRuntime::submit_one(std::int64_t now_us) {
+  proto::DataMsg m;
+  m.gid = kRuntimeGroup;
+  m.source = cfg_.source_id;
+  m.lseq = next_lseq_++;
+  m.payload_size = cfg_.payload_size;
+  pending_.push_back(PendingSubmit{m, now_us, now_us, 0});
+  tr_.send_msg(cfg_.ap, proto::Message(m));
+  next_submit_us_ += period_us_;
+}
+
+void MhRuntime::send_ack() {
+  tr_.send_msg(cfg_.ap, proto::Message(proto::DeliveryAckMsg{
+                            kRuntimeGroup, cfg_.self, next_expected_}));
+  ++counters_.acks_sent;
+}
+
+void MhRuntime::on_tick(std::int64_t now_us) {
+  if (!start_seen_ && now_us >= next_ready_us_) {
+    tr_.send_control(cfg_.ss, ControlMsg{ControlOp::Ready, 0});
+    next_ready_us_ = now_us + cfg_.opts.handshake_resend_us;
+  }
+  if (start_seen_ && !stop_seen()) {
+    int burst = 0;
+    while (next_lseq_ < cfg_.msgs_to_send && now_us >= next_submit_us_ &&
+           burst < 8) {
+      submit_one(now_us);
+      ++burst;
+    }
+  }
+  // Uplink ARQ: resubmit until the message comes back ordered. The budget
+  // only expires at the queue head so later lseqs can't starve earlier ones.
+  while (!pending_.empty() && pending_.front().attempts >= cfg_.opts.max_retx &&
+         now_us - pending_.front().last_send_us >= cfg_.opts.retx_timeout_us) {
+    pending_.pop_front();
+    ++counters_.uplink_dropped;
+  }
+  std::size_t scanned = 0;
+  for (auto& p : pending_) {
+    if (scanned++ >= 32) break;
+    // Exponential backoff: under load the submit->assign->deliver loop can
+    // exceed one retx window for every message, and fixed-interval retries
+    // then double the uplink traffic without helping anyone.
+    const std::int64_t gap = cfg_.opts.retx_timeout_us
+                             << std::min(p.attempts, 3);
+    if (p.attempts < cfg_.opts.max_retx && now_us - p.last_send_us >= gap) {
+      ++p.attempts;
+      p.last_send_us = now_us;
+      tr_.send_msg(cfg_.ap, proto::Message(p.msg));
+      ++counters_.uplink_retx;
+    }
+  }
+  if (now_us >= next_ack_us_) {
+    send_ack();
+    next_ack_us_ = now_us + cfg_.opts.ack_period_us;
+  }
+  if (!done_ && cfg_.expected_total > 0 && delivered_ >= cfg_.expected_total) {
+    done_ = true;
+    next_done_us_ = now_us;
+  }
+  if (done_ && !stop_seen() && now_us >= next_done_us_) {
+    tr_.send_control(cfg_.ss, ControlMsg{ControlOp::Done, delivered_});
+    next_done_us_ = now_us + cfg_.opts.handshake_resend_us;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SsRuntime
+
+SsRuntime::SsRuntime(SsConfig cfg, Transport& tr)
+    : cfg_(std::move(cfg)), tr_(tr) {}
+
+void SsRuntime::on_start(std::int64_t now_us) {
+  next_bcast_us_ = now_us + cfg_.opts.handshake_resend_us;
+}
+
+void SsRuntime::broadcast(ControlMsg msg) {
+  for (NodeId id : cfg_.all_nodes) tr_.send_control(id, msg);
+}
+
+void SsRuntime::on_datagram(const Datagram& d, std::int64_t /*now_us*/) {
+  if (d.kind == FrameKind::Control) {
+    const auto ctl = decode_control(d.payload.data(), d.payload.size());
+    if (!ctl) return;
+    switch (ctl->op) {
+      case ControlOp::Ready:
+        ready_.insert(d.src.v);
+        if (!started() && ready_.size() >= cfg_.expected_ready) {
+          started_.store(true, std::memory_order_release);
+          broadcast(ControlMsg{ControlOp::Start, 0});
+        }
+        break;
+      case ControlOp::Done:
+        done_.insert(d.src.v);
+        done_count_.store(done_.size(), std::memory_order_release);
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  const auto msg = proto::decode(d.payload.data(), d.payload.size());
+  if (msg && msg->type() == proto::MsgType::Heartbeat) {
+    last_beat_[d.src.v] = msg->heartbeat().beat;
+  }
+}
+
+void SsRuntime::on_tick(std::int64_t now_us) {
+  if (now_us < next_bcast_us_) return;
+  next_bcast_us_ = now_us + cfg_.opts.handshake_resend_us;
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    broadcast(ControlMsg{ControlOp::Stop, 0});
+  } else if (started()) {
+    broadcast(ControlMsg{ControlOp::Start, 0});  // covers a lost Start
+  }
+}
+
+}  // namespace ringnet::runtime

@@ -1,0 +1,203 @@
+#include "runtime/orchestrator.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "runtime/event_loop.hpp"
+#include "runtime/udp_transport.hpp"
+#include "util/clock.hpp"
+
+namespace ringnet::runtime {
+
+namespace {
+// Transport addresses never collide with message source ids (plain
+// NodeId{i}): sources are labels inside DataMsg, not datagram endpoints.
+constexpr NodeId kSupervisorId{0x00FFFFFEu};
+}  // namespace
+
+LoopbackSpec scaled(LoopbackSpec spec) {
+  const double f = spec.time_scale;
+  if (f == 1.0) return spec;
+  spec.opts.scale_timers(f);
+  spec.rate_hz /= f;
+  spec.tick_us = static_cast<std::int64_t>(spec.tick_us * f);
+  spec.boot_timeout_us = static_cast<std::int64_t>(spec.boot_timeout_us * f);
+  spec.run_timeout_us = static_cast<std::int64_t>(spec.run_timeout_us * f);
+  spec.time_scale = 1.0;
+  return spec;
+}
+
+LoopbackResult run_loopback(const LoopbackSpec& raw_spec) {
+  const LoopbackSpec spec = scaled(raw_spec);
+  const std::size_t n_br = spec.num_brs;
+  const std::size_t n_ap = spec.n_aps();
+  const std::size_t n_mh = spec.n_mhs();
+
+  std::vector<NodeId> brs, aps, mhs, all;
+  for (std::size_t i = 0; i < n_br; ++i) {
+    brs.push_back(NodeId::make(Tier::BR, static_cast<std::uint32_t>(i)));
+  }
+  for (std::size_t a = 0; a < n_ap; ++a) {
+    aps.push_back(NodeId::make(Tier::AP, static_cast<std::uint32_t>(a)));
+  }
+  for (std::size_t m = 0; m < n_mh; ++m) {
+    mhs.push_back(NodeId::make(Tier::MH, static_cast<std::uint32_t>(m)));
+  }
+  all = brs;
+  all.insert(all.end(), aps.begin(), aps.end());
+  all.insert(all.end(), mhs.begin(), mhs.end());
+
+  const auto ap_of_mh = [&](std::size_t m) { return aps[m / spec.mhs_per_ap]; };
+  const auto br_of_ap = [&](std::size_t a) { return brs[a / spec.aps_per_br]; };
+
+  // Transports first: every socket is bound (ephemeral ports resolved via
+  // getsockname) and the address book complete before any loop starts, so
+  // no node ever sends into the void.
+  std::vector<std::unique_ptr<Transport>> transports(all.size() + 1);
+  InProcNet net;
+  auto book = std::make_shared<AddressBook>();
+  const auto make_transport = [&](NodeId id) -> std::unique_ptr<Transport> {
+    if (spec.use_udp) return std::make_unique<UdpTransport>(id, book);
+    return net.attach(id);
+  };
+  if (!spec.use_udp && spec.drop_hook) net.set_drop_hook(spec.drop_hook);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    transports[i] = make_transport(all[i]);
+  }
+  transports.back() = make_transport(kSupervisorId);
+  if (spec.use_udp) {
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      book->set(all[i], static_cast<UdpTransport&>(*transports[i])
+                            .local_endpoint());
+    }
+    book->set(kSupervisorId,
+              static_cast<UdpTransport&>(*transports.back()).local_endpoint());
+  }
+
+  std::vector<std::unique_ptr<BrRuntime>> br_nodes;
+  std::vector<std::unique_ptr<ApRuntime>> ap_nodes;
+  std::vector<std::unique_ptr<MhRuntime>> mh_nodes;
+  const std::int64_t period_us =
+      spec.rate_hz > 0 ? static_cast<std::int64_t>(1e6 / spec.rate_hz) : 0;
+
+  for (std::size_t i = 0; i < n_br; ++i) {
+    BrConfig cfg;
+    cfg.self = brs[i];
+    cfg.ss = kSupervisorId;
+    cfg.ring = brs;
+    for (std::size_t a = 0; a < n_ap; ++a) {
+      if (br_of_ap(a) != brs[i]) continue;
+      cfg.own_aps.push_back(aps[a]);
+    }
+    for (std::size_t m = 0; m < n_mh; ++m) {
+      if (br_of_ap(m / spec.mhs_per_ap) != brs[i]) continue;
+      cfg.members.push_back(mhs[m]);
+      cfg.member_ap.push_back(ap_of_mh(m));
+    }
+    cfg.opts = spec.opts;
+    br_nodes.push_back(
+        std::make_unique<BrRuntime>(std::move(cfg), *transports[i]));
+  }
+  for (std::size_t a = 0; a < n_ap; ++a) {
+    ApConfig cfg;
+    cfg.self = aps[a];
+    cfg.br = br_of_ap(a);
+    cfg.ss = kSupervisorId;
+    for (std::size_t m = 0; m < n_mh; ++m) {
+      if (ap_of_mh(m) == aps[a]) cfg.attached.push_back(mhs[m]);
+    }
+    cfg.opts = spec.opts;
+    ap_nodes.push_back(
+        std::make_unique<ApRuntime>(std::move(cfg), *transports[n_br + a]));
+  }
+  for (std::size_t m = 0; m < n_mh; ++m) {
+    MhConfig cfg;
+    cfg.self = mhs[m];
+    cfg.source_id = NodeId{static_cast<std::uint32_t>(m)};  // matches the sim
+    cfg.ap = ap_of_mh(m);
+    cfg.ss = kSupervisorId;
+    cfg.rate_hz = spec.rate_hz;
+    cfg.msgs_to_send = spec.msgs_per_source;
+    cfg.expected_total = spec.expected_total();
+    cfg.payload_size = spec.payload_size;
+    cfg.submit_phase_us =
+        n_mh > 0 ? static_cast<std::int64_t>(m) * period_us /
+                       static_cast<std::int64_t>(n_mh)
+                 : 0;
+    cfg.opts = spec.opts;
+    mh_nodes.push_back(std::make_unique<MhRuntime>(
+        std::move(cfg), *transports[n_br + n_ap + m]));
+  }
+  SsConfig ss_cfg;
+  ss_cfg.self = kSupervisorId;
+  ss_cfg.all_nodes = all;
+  ss_cfg.expected_ready = all.size();
+  ss_cfg.expected_done = n_mh;
+  ss_cfg.opts = spec.opts;
+  SsRuntime ss(ss_cfg, *transports.back());
+
+  util::WallClock clock;
+  std::vector<std::unique_ptr<NodeLoop>> loops;
+  for (std::size_t i = 0; i < n_br; ++i) {
+    loops.push_back(std::make_unique<NodeLoop>(*br_nodes[i], *transports[i],
+                                               clock, spec.tick_us));
+  }
+  for (std::size_t a = 0; a < n_ap; ++a) {
+    loops.push_back(std::make_unique<NodeLoop>(
+        *ap_nodes[a], *transports[n_br + a], clock, spec.tick_us));
+  }
+  for (std::size_t m = 0; m < n_mh; ++m) {
+    loops.push_back(std::make_unique<NodeLoop>(
+        *mh_nodes[m], *transports[n_br + n_ap + m], clock, spec.tick_us));
+  }
+  loops.push_back(std::make_unique<NodeLoop>(ss, *transports.back(), clock,
+                                             spec.tick_us));
+
+  for (auto& loop : loops) loop->start();
+
+  const std::int64_t boot_deadline = clock.now_us() + spec.boot_timeout_us;
+  while (!ss.started() && clock.now_us() < boot_deadline) {
+    clock.sleep_us(1000);
+  }
+  const std::int64_t run_deadline = clock.now_us() + spec.run_timeout_us;
+  while (!ss.all_done() && clock.now_us() < run_deadline) {
+    clock.sleep_us(1000);
+  }
+  const bool completed = ss.all_done();
+  ss.request_stop();
+  // Let a couple of Stop broadcasts land so MHs quiesce before teardown.
+  clock.sleep_us(2 * spec.opts.handshake_resend_us);
+  for (auto& loop : loops) loop->stop();
+  loops.clear();
+
+  // Loops joined: node and transport state is now safe to read.
+  LoopbackResult out;
+  out.completed = completed;
+  out.n_mh = n_mh;
+  out.expected_total = spec.expected_total();
+  out.log.reset(mhs);
+  for (std::size_t m = 0; m < n_mh; ++m) {
+    const MhRuntime& node = *mh_nodes[m];
+    out.per_mh.push_back(node.deliveries());
+    out.delivered_counts.push_back(node.delivered_count());
+    for (const DeliveredRec& r : node.deliveries()) {
+      out.log.record(mhs[m], r.gseq, r.source, r.lseq);
+    }
+    out.latencies_us.insert(out.latencies_us.end(),
+                            node.latencies_us().begin(),
+                            node.latencies_us().end());
+    out.counters.merge(node.counters());
+  }
+  for (const auto& node : br_nodes) out.counters.merge(node->counters());
+  for (const auto& node : ap_nodes) out.counters.merge(node->counters());
+  for (const auto& tr : transports) {
+    out.frames_sent += tr->sent();
+    out.frames_received += tr->received();
+    out.frames_malformed += tr->dropped_malformed();
+    out.send_failures += tr->send_failures();
+  }
+  out.order_violation = out.log.check_total_order();
+  return out;
+}
+
+}  // namespace ringnet::runtime

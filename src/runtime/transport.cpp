@@ -1,0 +1,98 @@
+#include "runtime/transport.hpp"
+
+namespace ringnet::runtime {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x31474E52u;  // "RNG1" little-endian
+
+void put_u32(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> frame(NodeId src, FrameKind kind,
+                                const std::vector<std::uint8_t>& payload,
+                                NodeId relay) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kMagic);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  put_u32(out, src.v);
+  put_u32(out, relay.v);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, fnv1a(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<Datagram> unframe(const std::uint8_t* data, std::size_t size) {
+  if (size < kFrameHeaderBytes || size > kMaxDatagramBytes) {
+    return std::nullopt;
+  }
+  if (get_u32(data) != kMagic) return std::nullopt;
+  const std::uint8_t kind = data[4];
+  if (kind > static_cast<std::uint8_t>(FrameKind::Control)) {
+    return std::nullopt;
+  }
+  const std::uint32_t len = get_u32(data + 13);
+  if (size - kFrameHeaderBytes != len) return std::nullopt;
+  if (fnv1a(data + kFrameHeaderBytes, len) != get_u32(data + 17)) {
+    return std::nullopt;
+  }
+  Datagram d;
+  d.src = NodeId{get_u32(data + 5)};
+  d.relay = NodeId{get_u32(data + 9)};
+  d.kind = static_cast<FrameKind>(kind);
+  d.payload.assign(data + kFrameHeaderBytes, data + kFrameHeaderBytes + len);
+  return d;
+}
+
+std::vector<std::uint8_t> encode_control(const ControlMsg& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(9);
+  out.push_back(static_cast<std::uint8_t>(msg.op));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(msg.arg >> (8 * i)));
+  }
+  return out;
+}
+
+std::optional<ControlMsg> decode_control(const std::uint8_t* data,
+                                         std::size_t size) {
+  if (size != 9) return std::nullopt;
+  const std::uint8_t op = data[0];
+  if (op < static_cast<std::uint8_t>(ControlOp::Ready) ||
+      op > static_cast<std::uint8_t>(ControlOp::Done)) {
+    return std::nullopt;
+  }
+  ControlMsg m;
+  m.op = static_cast<ControlOp>(op);
+  m.arg = 0;
+  for (int i = 0; i < 8; ++i) {
+    m.arg |= static_cast<std::uint64_t>(data[1 + i]) << (8 * i);
+  }
+  return m;
+}
+
+}  // namespace ringnet::runtime

@@ -78,6 +78,26 @@ TEST(heartbeat_round_trip) {
   CHECK_EQ(decoded->heartbeat().beat, std::uint64_t{99});
 }
 
+TEST(token_ack_round_trip) {
+  proto::TokenAckMsg a;
+  a.from = NodeId::make(Tier::BR, 1);
+  a.serial = 314159;
+  a.rotation = 27;
+  const auto bytes = proto::encode(proto::Message(a));
+  const auto decoded = proto::decode(bytes);
+  CHECK(decoded.has_value());
+  CHECK(decoded->type() == proto::MsgType::TokenAck);
+  CHECK_EQ(decoded->token_ack().from.v, a.from.v);
+  CHECK_EQ(decoded->token_ack().serial, a.serial);
+  CHECK_EQ(decoded->token_ack().rotation, a.rotation);
+  CHECK_EQ(proto::wire_size(proto::Message(a)), bytes.size());
+  // Truncations at every prefix length must fail cleanly.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    CHECK(!proto::decode(prefix).has_value());
+  }
+}
+
 TEST(malformed_rejected) {
   const auto bytes = proto::encode(proto::Message(sample_data()));
   // Truncations at every prefix length must fail cleanly.

@@ -1,0 +1,208 @@
+// Threaded runtime over the in-process transport twin: a tiny Figure-1
+// deployment must boot through the supervisor handshake, deliver the whole
+// scripted workload in total order, and survive scripted token loss (the
+// per-hop ARQ and, when that is exhausted, the leader's regeneration
+// watchdog). Plus direct single-threaded MhRuntime unit coverage for the
+// reordering buffer and gap-skip accounting.
+
+#include <atomic>
+#include <memory>
+
+#include "proto/messages.hpp"
+#include "ringnet_test.hpp"
+#include "runtime/inproc_transport.hpp"
+#include "runtime/node.hpp"
+#include "runtime/orchestrator.hpp"
+
+using namespace ringnet;
+using namespace ringnet::runtime;
+
+namespace {
+
+LoopbackSpec tiny_spec() {
+  LoopbackSpec spec;
+  spec.num_brs = 1;
+  spec.aps_per_br = 1;
+  spec.mhs_per_ap = 2;
+  spec.rate_hz = 100.0;
+  spec.msgs_per_source = 8;
+  spec.use_udp = false;
+  return spec;
+}
+
+bool is_token_frame(const Datagram& d) {
+  if (d.kind != FrameKind::Proto) return false;
+  const auto msg = proto::decode(d.payload.data(), d.payload.size());
+  return msg && msg->type() == proto::MsgType::Token;
+}
+
+proto::DataMsg ordered_data(GlobalSeq gseq, NodeId source, LocalSeq lseq) {
+  proto::DataMsg m;
+  m.gid = kRuntimeGroup;
+  m.source = source;
+  m.lseq = lseq;
+  m.ordering_node = NodeId::make(Tier::BR, 0);
+  m.gseq = gseq;
+  m.epoch = 1;
+  m.payload_size = 32;
+  return m;
+}
+
+Datagram proto_datagram(const proto::Message& msg) {
+  Datagram d;
+  d.src = NodeId::make(Tier::BR, 0);
+  d.kind = FrameKind::Proto;
+  d.payload = proto::encode(msg);
+  return d;
+}
+
+}  // namespace
+
+// --- full deployment over InProc + NodeLoop --------------------------------
+
+TEST(inproc_tiny_hierarchy_completes_in_order) {
+  const auto spec = tiny_spec();
+  const auto res = run_loopback(scaled(spec));
+  CHECK(res.completed);
+  CHECK(!res.order_violation.has_value());
+  CHECK_EQ(res.n_mh, spec.n_mhs());
+  for (const auto count : res.delivered_counts) {
+    CHECK_EQ(count, spec.expected_total());
+  }
+  CHECK_EQ(res.counters.really_lost, 0u);
+  CHECK_EQ(res.frames_malformed, 0u);
+  CHECK(res.counters.tokens_held > 0);
+}
+
+TEST(token_loss_recovers_via_arq) {
+  auto spec = tiny_spec();
+  spec.num_brs = 2;  // a real ring: token frames cross between BRs
+  // Lose the first two inter-BR token transmissions; the per-hop ARQ
+  // must retransmit until one lands, with no order or loss impact.
+  auto dropped = std::make_shared<std::atomic<int>>(0);
+  spec.drop_hook = [dropped](NodeId from, NodeId to, const Datagram& d) {
+    if (from.tier() == Tier::BR && to.tier() == Tier::BR &&
+        is_token_frame(d) && dropped->load() < 2) {
+      ++*dropped;
+      return true;
+    }
+    return false;
+  };
+  const auto res = run_loopback(scaled(spec));
+  CHECK(res.completed);
+  CHECK(!res.order_violation.has_value());
+  CHECK(dropped->load() >= 2);
+  CHECK(res.counters.token_retx >= 2);
+  CHECK_EQ(res.counters.really_lost, 0u);
+  for (const auto count : res.delivered_counts) {
+    CHECK_EQ(count, spec.expected_total());
+  }
+}
+
+TEST(token_destroyed_recovers_via_leader_regeneration) {
+  auto spec = tiny_spec();
+  spec.num_brs = 2;
+  // Shrink the watchdogs so exhausting the ARQ (max_retx attempts) and the
+  // subsequent regeneration fit comfortably in a test budget.
+  spec.opts.retx_timeout_us = 5'000;
+  spec.opts.max_retx = 3;
+  spec.opts.heartbeat_period_us = 10'000;
+  // Swallow every inter-BR token frame until the sender has burned through
+  // all ARQ attempts: the token dies on the wire, and only the leader's
+  // regeneration watchdog can revive the ring.
+  auto dropped = std::make_shared<std::atomic<int>>(0);
+  const int kill_budget = 2 * (spec.opts.max_retx + 1);
+  spec.drop_hook = [dropped, kill_budget](NodeId from, NodeId to,
+                                          const Datagram& d) {
+    if (from.tier() == Tier::BR && to.tier() == Tier::BR &&
+        is_token_frame(d) && dropped->load() < kill_budget) {
+      ++*dropped;
+      return true;
+    }
+    return false;
+  };
+  const auto res = run_loopback(scaled(spec));
+  CHECK(res.completed);
+  CHECK(!res.order_violation.has_value());
+  CHECK(res.counters.token_regenerated >= 1);
+  CHECK_EQ(res.counters.really_lost, 0u);
+  for (const auto count : res.delivered_counts) {
+    CHECK_EQ(count, spec.expected_total());
+  }
+}
+
+// --- MhRuntime unit coverage (single-threaded, no loop) --------------------
+
+TEST(mh_reorders_out_of_order_gseq) {
+  InProcNet net;
+  auto mh_id = NodeId::make(Tier::MH, 0);
+  auto tr = net.attach(mh_id);
+  (void)net.attach(NodeId::make(Tier::AP, 0));  // ack sink
+
+  MhConfig cfg;
+  cfg.self = mh_id;
+  cfg.source_id = NodeId{0};
+  cfg.ap = NodeId::make(Tier::AP, 0);
+  cfg.ss = NodeId{0x00FFFFFEu};
+  cfg.msgs_to_send = 0;
+  MhRuntime mh(cfg, *tr);
+  mh.on_start(0);
+
+  const auto src = NodeId{3};
+  mh.on_datagram(proto_datagram(proto::Message(ordered_data(1, src, 11))), 10);
+  CHECK_EQ(mh.delivered_count(), 0u);  // holding for gseq 0
+  mh.on_datagram(proto_datagram(proto::Message(ordered_data(0, src, 10))), 20);
+  CHECK_EQ(mh.delivered_count(), 2u);  // contiguous drain
+  mh.on_datagram(proto_datagram(proto::Message(ordered_data(2, src, 12))), 30);
+  CHECK_EQ(mh.delivered_count(), 3u);
+
+  const auto& log = mh.deliveries();
+  CHECK_EQ(log.size(), 3u);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    CHECK_EQ(log[i].gseq, i);
+  }
+
+  // Replays of anything already delivered or buffered only bump the
+  // duplicate counter.
+  mh.on_datagram(proto_datagram(proto::Message(ordered_data(1, src, 11))), 40);
+  CHECK_EQ(mh.delivered_count(), 3u);
+  CHECK_EQ(mh.counters().duplicates, 1u);
+}
+
+TEST(mh_gap_skip_counts_really_lost) {
+  InProcNet net;
+  auto mh_id = NodeId::make(Tier::MH, 1);
+  auto tr = net.attach(mh_id);
+  (void)net.attach(NodeId::make(Tier::AP, 0));
+
+  MhConfig cfg;
+  cfg.self = mh_id;
+  cfg.source_id = NodeId{1};
+  cfg.ap = NodeId::make(Tier::AP, 0);
+  cfg.ss = NodeId{0x00FFFFFEu};
+  MhRuntime mh(cfg, *tr);
+  mh.on_start(0);
+
+  const auto src = NodeId{3};
+  mh.on_datagram(proto_datagram(proto::Message(ordered_data(0, src, 0))), 10);
+  // gseq 1,2 never arrive; 3 is buffered beyond the gap.
+  mh.on_datagram(proto_datagram(proto::Message(ordered_data(3, src, 3))), 20);
+  CHECK_EQ(mh.delivered_count(), 1u);
+
+  // The ordering BR advances the floor past the pruned range: the MH must
+  // account the two missing messages as really lost (one contiguous gap)
+  // and then drain the buffered gseq 3.
+  proto::DeliveryAckMsg floor_advance;
+  floor_advance.gid = kRuntimeGroup;
+  floor_advance.member = mh_id;
+  floor_advance.watermark = 3;
+  mh.on_datagram(proto_datagram(proto::Message(floor_advance)), 30);
+
+  CHECK_EQ(mh.delivered_count(), 2u);
+  CHECK_EQ(mh.counters().really_lost, 2u);
+  CHECK_EQ(mh.counters().gaps_skipped, 1u);
+  const auto& log = mh.deliveries();
+  CHECK_EQ(log.back().gseq, 3u);
+}
+
+TEST_MAIN()

@@ -17,7 +17,9 @@ Usage:
   tools/bench_diff.py ... --threshold 0.10 --calibrate median
   tools/bench_diff.py ... --gate BM_Foo --gate 'BM_Bar/.*'   # override set
 
-Exit status: 0 clean, 1 regression, 2 usage/data error.
+Exit status: 0 clean, 1 regression, 2 usage/data error. --report-only
+prints the same table but never exits 1 (trajectory recording on CI
+runners whose reference was captured elsewhere).
 """
 
 import argparse
@@ -85,6 +87,10 @@ def main():
                     metavar="REGEX",
                     help="gate these name patterns instead of the built-in "
                          "hot-path set (repeatable, fullmatch)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the comparison table but always exit 0 "
+                         "(trajectory recording, e.g. against a reference "
+                         "captured on different hardware)")
     args = ap.parse_args()
 
     ref = load_times(args.reference)
@@ -146,6 +152,9 @@ def main():
               f"beyond {args.threshold:.0%}:")
         for name, ratio in regressions:
             print(f"  {name}: {ratio - 1.0:+.1%}")
+        if args.report_only:
+            print("bench_diff: --report-only, not failing the gate")
+            return 0
         return 1
     print("\nbench_diff: hot paths within threshold")
     return 0

@@ -39,6 +39,13 @@ RN005 header-self-containment
     `-fsyntax-only -std=c++20`. Catches headers that lean on includes
     supplied by whoever included them first.
 
+RN006 raw-wall-clock
+    No raw wall-clock reads (`std::chrono::*_clock::now`, `gettimeofday`,
+    `clock_gettime`, `::time(`) in library code outside runtime/ and
+    util/clock.hpp. Simulation logic must take time as a parameter (the
+    event-driven clock is what makes runs replayable); real time enters
+    only through util::WallClock and the socket runtime that owns it.
+
 Self-test
 ---------
 `--self-test` seeds one violation per rule in a scratch tree and fails
@@ -171,6 +178,41 @@ def check_stdout_in_library(root):
 
 
 # --------------------------------------------------------------------------
+# RN006: raw wall-clock reads outside runtime/ and util/clock
+
+# Clock *reads* only: sleeping or waiting on a duration (sleep_for,
+# wait_for_us) is time-consuming, not time-observing, and stays allowed.
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+    r"\s*::\s*now"
+    r"|\bgettimeofday\s*\("
+    r"|\bclock_gettime\s*\("
+    r"|(?<![A-Za-z0-9_])::time\s*\(")
+
+WALL_CLOCK_EXEMPT = ("include/runtime/", "src/runtime/",
+                     "include/util/clock.hpp")
+
+
+def check_raw_wall_clock(root):
+    findings = []
+    for path in repo_files(root, ("include", "src")):
+        r = rel(root, path)
+        posix = r.replace(os.sep, "/")
+        if posix.startswith(WALL_CLOCK_EXEMPT[:2]) or \
+                posix == WALL_CLOCK_EXEMPT[2]:
+            continue
+        for i, text in enumerate(open(path, encoding="utf-8"), 1):
+            m = WALL_CLOCK_RE.search(text)
+            if m:
+                findings.append(Finding(
+                    "RN006", r, i,
+                    f"raw wall-clock read '{m.group(0).strip()}' outside "
+                    "runtime/; take time as a parameter or go through "
+                    "util::WallClock so simulated runs stay replayable"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # RN005: header self-containment
 
 def check_header_self_containment(root, cxx):
@@ -207,6 +249,7 @@ def run_checks(root, cxx, with_headers=True):
     findings += check_map_in_core_header(root)
     findings += check_raw_rng(root)
     findings += check_stdout_in_library(root)
+    findings += check_raw_wall_clock(root)
     if with_headers:
         findings += check_header_self_containment(root, cxx)
     return findings
@@ -259,9 +302,27 @@ def self_test(cxx):
         write("include/core/bad_header.hpp",
               "#pragma once\ninline std::vector<int> v;\n")
 
+        # RN006: wall-clock read in sim code; runtime/ and util/clock.hpp
+        # (plus duration-only waits) are exempt.
+        os.makedirs(os.path.join(tmp, "src/runtime"))
+        write("src/core/bad_clock.cpp",
+              "#include <chrono>\n"
+              "long f() { return std::chrono::steady_clock::now()"
+              ".time_since_epoch().count(); }\n")
+        write("src/runtime/ok_clock.cpp",
+              "#include <chrono>\n"
+              "long f() { return std::chrono::steady_clock::now()"
+              ".time_since_epoch().count(); }\n")
+        write("include/util/clock.hpp",
+              "#include <chrono>\n"
+              "inline auto t0 = std::chrono::steady_clock::now();\n")
+        write("src/core/ok_wait.cpp",
+              "#include <thread>\nvoid f() { std::this_thread::sleep_for("
+              "std::chrono::microseconds(5)); }\n")
+
         findings = run_checks(tmp, cxx)
         fired = {f.rule for f in findings}
-        for rule in ("RN001", "RN002", "RN003", "RN004", "RN005"):
+        for rule in ("RN001", "RN002", "RN003", "RN004", "RN005", "RN006"):
             if rule not in fired:
                 failures.append(f"{rule} did not fire on its seeded "
                                 "violation")
@@ -270,7 +331,10 @@ def self_test(cxx):
                             ("RN002", "good_map.hpp"),
                             ("RN003", "rng.hpp"),
                             ("RN004", "ok_out.cpp"),
-                            ("RN004", "ok_snprintf.cpp")):
+                            ("RN004", "ok_snprintf.cpp"),
+                            ("RN006", "ok_clock.cpp"),
+                            ("RN006", "clock.hpp"),
+                            ("RN006", "ok_wait.cpp")):
             if (rule, fname) in by_file:
                 failures.append(f"{rule} false-positive on {fname}")
     if failures:
