@@ -34,23 +34,13 @@ int main(int argc, char** argv) {
   // ad-hoc --scenario (no describe/re-parse round-trip), the canonical
   // text for catalogue entries.
   std::vector<std::pair<std::string, scenario::ScenarioSpec>> entries;
-  const auto resolve = [](const std::string& text)
-      -> std::optional<scenario::ScenarioSpec> {
-    std::string error;
-    auto parsed = scenario::find_scenario(text, &error);
-    if (!parsed) {
-      std::fprintf(stderr, "bad scenario '%s': %s (try --list)\n",
-                   text.c_str(), error.c_str());
-    }
-    return parsed;
-  };
   if (opts.scenario) {
-    const auto parsed = resolve(*opts.scenario);
+    const auto parsed = bench::resolve_scenario(*opts.scenario);
     if (!parsed) return 2;
     entries.emplace_back(parsed->name, *parsed);
   } else {
     for (const auto& c : scenario::catalogue()) {
-      const auto parsed = resolve(c.text);
+      const auto parsed = bench::resolve_scenario(c.text);
       if (!parsed) return 2;  // a canned entry must always parse
       entries.emplace_back(c.name, *parsed);
     }

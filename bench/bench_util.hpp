@@ -109,6 +109,22 @@ inline Options parse_cli(int argc, char** argv) {
   return opts;
 }
 
+/// Resolve a scenario name (or ad-hoc parse_scenario text) through the
+/// catalogue, printing the parser's diagnostic and a --list hint on stderr
+/// when it fails. The single resolution path shared by every scenario-aware
+/// bench — per-bench copies of this lambda had already drifted apart in
+/// their diagnostics before it was hoisted here.
+inline std::optional<scenario::ScenarioSpec> resolve_scenario(
+    const std::string& text) {
+  std::string error;
+  auto parsed = scenario::find_scenario(text, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "bad scenario '%s': %s (try --list)\n", text.c_str(),
+                 error.c_str());
+  }
+  return parsed;
+}
+
 /// Apply the shared overrides to one sweep point. The scenario override
 /// resolves through the catalogue (exiting with a message on an unknown
 /// name) so every bench accepts the same `--scenario` vocabulary.
@@ -128,13 +144,8 @@ inline void apply_cli(const Options& opts, baseline::RunSpec& spec) {
   }
   if (opts.run_secs) spec.run = sim::secs(*opts.run_secs);
   if (opts.scenario) {
-    std::string error;
-    auto parsed = scenario::find_scenario(*opts.scenario, &error);
-    if (!parsed) {
-      std::fprintf(stderr, "bad scenario '%s': %s (try --list)\n",
-                   opts.scenario->c_str(), error.c_str());
-      std::exit(2);
-    }
+    auto parsed = resolve_scenario(*opts.scenario);
+    if (!parsed) std::exit(2);
     spec.scenario = std::move(*parsed);
   }
 }

@@ -90,8 +90,14 @@ struct RunResult {
   std::uint64_t blackout_drops = 0;   // recoverable (downlink / in-flight)
   std::uint64_t uplink_lost = 0;      // unrecoverable: dropped pre-ordering
   std::uint64_t tokens_dropped = 0;
-  // Correctness
+  // Correctness. In multi-group runs order_violation holds the pairwise
+  // consistency verdict (core::check_pairwise_order); in single-group runs
+  // the classic total-order check.
   std::optional<std::string> order_violation;
+  // Total deliveries over all MHs (with genuine multicast each message is
+  // delivered destination-membership times, not population times, so this
+  // is the quantity bench_groups plots against group fan-out).
+  std::uint64_t delivered_total = 0;
   // Filled when spec.export_deliveries: total submissions and each MH's
   // delivery sequence in delivery order (MH-index major).
   std::uint64_t total_sent = 0;
@@ -115,9 +121,15 @@ using RunHook =
 /// pass off).
 core::ProtocolConfig effective_config(const RunSpec& spec);
 
+/// The lookahead floor for domain-sharded execution: the minimum of the
+/// per-pair latency matrix over the resolved topology's inter-domain (WAN
+/// ring) links. Equals the configured WAN one-way latency on today's
+/// uniform deployments; exposed so tests can pin that equivalence.
+sim::SimTime min_interdomain_latency(const core::ProtocolConfig& cfg);
+
 /// Execution plan for the spec over its resolved config: one domain per BR
-/// with the WAN latency as lookahead when sharding is requested, the
-/// classic single-context plan otherwise.
+/// with min_interdomain_latency as lookahead when sharding is requested,
+/// the classic single-context plan otherwise.
 sim::ShardPlan shard_plan(const RunSpec& spec, const core::ProtocolConfig& cfg);
 
 RunResult run_experiment(const RunSpec& spec);

@@ -17,10 +17,56 @@
 // constants are exposed; the benches print them side by side.
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
 
 #include "core/config.hpp"
+#include "core/protocol.hpp"
 
 namespace ringnet::core {
+
+/// Multi-group ordering guarantee: any two members that both deliver the
+/// same two messages deliver them in the same relative order. With genuine
+/// multicast a member's log has holes (gseqs destined to other groups), so
+/// this is checked directly — for every member pair, the positions of
+/// their common messages must rise together — rather than inferred from
+/// per-member contiguity. Also re-runs the per-member monotonicity and
+/// gseq-binding checks so one call covers the full multi-group contract.
+/// Returns nullopt when violation-free.
+inline std::optional<std::string> check_pairwise_order(
+    const DeliveryLog& log) {
+  if (auto err = log.check_total_order()) return err;
+  const auto& per_mh = log.per_mh();
+  std::unordered_map<GlobalSeq, std::size_t> pos;
+  for (std::size_t i = 0; i < per_mh.size(); ++i) {
+    pos.clear();
+    pos.reserve(per_mh[i].size());
+    for (std::size_t p = 0; p < per_mh[i].size(); ++p) {
+      pos.emplace(per_mh[i][p].gseq, p);
+    }
+    for (std::size_t j = i + 1; j < per_mh.size(); ++j) {
+      // Walk j's log; positions of messages shared with i must increase.
+      std::size_t last = 0;
+      bool any = false;
+      GlobalSeq last_g = 0;
+      for (const auto& r : per_mh[j]) {
+        const auto it = pos.find(r.gseq);
+        if (it == pos.end()) continue;
+        if (any && it->second <= last) {
+          return "pairwise order violation: members " + std::to_string(i) +
+                 " and " + std::to_string(j) + " disagree on gseq " +
+                 std::to_string(r.gseq) + " vs " + std::to_string(last_g);
+        }
+        any = true;
+        last = it->second;
+        last_g = r.gseq;
+      }
+    }
+  }
+  return std::nullopt;
+}
 
 struct AnalyticBounds {
   double torder_s = 0;

@@ -44,6 +44,19 @@ struct MobilityConfig {
   sim::SimTime detach_gap = sim::msecs(20);  // radio silence per handoff
 };
 
+/// Multi-group multicast shape. count == 1 is the degenerate single-group
+/// deployment — the paper's protocol, bit-identical to the pre-group code
+/// path. count > 1 turns on genuine multi-group mode: MHs join
+/// `groups_per_mh` of `count` overlapping groups, each message targets
+/// `dest_groups` groups, and only actual destination members pay delivery
+/// cost (BRs skip downlink work for groups with no subtree members).
+struct GroupConfig {
+  std::size_t count = 1;          // total groups sharing the ring
+  std::size_t groups_per_mh = 1;  // overlap degree: memberships per MH
+  std::size_t dest_groups = 1;    // destination groups per message (<= 4)
+  bool multi() const { return count > 1; }
+};
+
 struct ProtocolOptions {
   // Message-Ordering cadence: sources' messages are staged at their BR and
   // folded into the WQ every tau (the paper's batching interval).
@@ -87,6 +100,7 @@ struct ProtocolConfig {
   SourceConfig source;
   MobilityConfig mobility;
   ProtocolOptions options;
+  GroupConfig groups;
   // Keep a per-delivery log for total-order checking (memory ~ deliveries).
   bool record_deliveries = true;
 };

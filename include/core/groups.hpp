@@ -1,0 +1,78 @@
+#pragma once
+// Deterministic group assignment shared by the simulator, the socket
+// runtime, and the benches. Both executions of one deployment (sim oracle
+// and UDP loopback) must agree on which groups each MH joins and which
+// groups each message targets, so both functions are pure in
+// (index/source, lseq, GroupConfig) — no RNG, no wall clock.
+//
+// GroupIds are 1-based: gid g in [1, count]. Dense per-group state indexes
+// by gid - 1. Gid 0 stays reserved as "unset" and the single-group
+// degenerate deployment keeps its legacy gid 1.
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/types.hpp"
+#include "proto/group_set.hpp"
+#include "proto/messages.hpp"
+
+namespace ringnet::core {
+
+/// Dense slab index for a gid (gid is 1-based, slabs are 0-based).
+inline std::size_t group_index(GroupId g) {
+  return static_cast<std::size_t>(g.v) - 1;
+}
+
+inline GroupId group_of_index(std::size_t idx) {
+  return GroupId{static_cast<std::uint32_t>(idx + 1)};
+}
+
+/// The groups MH #mh_index belongs to: groups_per_mh consecutive groups
+/// starting at mh_index (mod count). Stripes membership evenly over the
+/// population, so every group has floor/ceil(n_mh * per_mh / count) members
+/// and overlap degree is exactly groups_per_mh everywhere.
+inline proto::GroupSet member_groups(std::size_t mh_index,
+                                     const GroupConfig& cfg) {
+  proto::GroupSet out;
+  if (!cfg.multi()) {
+    // RN007-ok: the degenerate deployment keeps its legacy ring-wide gid 1.
+    out.insert(GroupId{1});
+    return out;
+  }
+  const std::size_t per =
+      cfg.groups_per_mh == 0
+          ? 1
+          : (cfg.groups_per_mh < cfg.count ? cfg.groups_per_mh : cfg.count);
+  for (std::size_t k = 0; k < per; ++k) {
+    out.insert(group_of_index((mh_index + k) % cfg.count));
+  }
+  return out;
+}
+
+/// Destination groups of (source, lseq): dest_groups distinct groups at a
+/// hashed starting offset, so destinations spread over all groups while
+/// staying replayable. The mix is splitmix64-style so neighboring lseqs
+/// land on unrelated groups.
+inline proto::GroupSet dest_groups(NodeId source, LocalSeq lseq,
+                                   const GroupConfig& cfg) {
+  proto::GroupSet out;
+  if (!cfg.multi()) return out;  // degenerate: no wire extension at all
+  std::uint64_t h = (static_cast<std::uint64_t>(source.v) << 32) ^ lseq;
+  h += 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  const std::size_t want =
+      cfg.dest_groups == 0
+          ? 1
+          : (cfg.dest_groups < proto::kMaxDataGroups ? cfg.dest_groups
+                                                     : proto::kMaxDataGroups);
+  const std::size_t n = want < cfg.count ? want : cfg.count;
+  const std::size_t base = static_cast<std::size_t>(h % cfg.count);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.insert(group_of_index((base + k) % cfg.count));
+  }
+  return out;
+}
+
+}  // namespace ringnet::core

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -89,6 +90,7 @@ class DeliveryLog {
     GlobalSeq gseq;
     NodeId source;
     LocalSeq lseq;
+    GroupId gid{0};  // destination group credited with the delivery
   };
 
   void reset(const std::vector<NodeId>& mhs) {
@@ -96,8 +98,9 @@ class DeliveryLog {
     per_mh_.assign(mhs.size(), {});
   }
 
-  void record(NodeId mh, GlobalSeq gseq, NodeId source, LocalSeq lseq) {
-    per_mh_[mh.index()].push_back(Rec{gseq, source, lseq});
+  void record(NodeId mh, GlobalSeq gseq, NodeId source, LocalSeq lseq,
+              GroupId gid = GroupId{0}) {
+    per_mh_[mh.index()].push_back(Rec{gseq, source, lseq, gid});
   }
 
   bool empty() const {
@@ -109,7 +112,9 @@ class DeliveryLog {
 
   /// nullopt when the log is violation-free: per-member gseq sequences are
   /// strictly increasing and every member agrees on which (source, lseq)
-  /// each gseq names.
+  /// each gseq names. Multi-group logs pass too: genuine multicast leaves
+  /// per-member holes (non-destination gseqs), and this check never
+  /// required contiguity — only monotonicity and binding agreement.
   std::optional<std::string> check_total_order() const;
 
   /// Raw per-member sequences, MH-index order (oracle-comparison export).
@@ -182,6 +187,18 @@ class MhNode {
   std::uint64_t delivered_ = 0;
   std::uint64_t ack_gen_ = 0;  // live ack-tick chain (bumps kill old chains)
   sim::SimTime last_delivery_ = sim::SimTime::zero();
+  // Multi-group delivery chain (gseq contiguity no longer identifies
+  // losses: a hole may just be a message for another group). The serving
+  // BR stamps each downlink frame with prev_chain = the chain coordinate
+  // (gseq + 1) of the previous frame forwarded to this member, and the MH
+  // delivers in chain order: multi_tail_ is the coordinate of the last
+  // delivered frame, and out-of-chain arrivals wait in multi_held_ (keyed
+  // by their own coordinate) until their predecessor lands.
+  GlobalSeq multi_tail_ = 0;
+  // lint: map-ok — drained smallest-coordinate-first (begin() is the only
+  // candidate whose prev_chain can extend the tail), so the hold buffer
+  // needs an ordered walk; residency is bounded by the in-flight window.
+  std::map<GlobalSeq, proto::DataMsg> multi_held_;
 };
 
 /// Border router / ordering node state.
@@ -267,6 +284,22 @@ class RingNetProtocol {
   /// leader runs Token-Regeneration with a fresh epoch (§4 Token-Loss).
   void lose_token();
 
+  /// Scenario hook (multi-group mode): `mh` joins / leaves group `g` at
+  /// runtime. Join takes effect for messages ordered after the call; leave
+  /// stops future forwarding while already-chained frames still deliver.
+  /// No-ops in the single-group degenerate deployment. Like the other
+  /// membership mutators these must run in the serialized global context
+  /// under sharding (the scenario engine schedules them there).
+  void join_group(NodeId mh, GroupId g);
+  void leave_group(NodeId mh, GroupId g);
+
+  /// Scenario hook (multi-group mode): flash-crowd traffic shaping. While
+  /// set, every source submits `boost`x faster whenever its next message
+  /// targets `g` (destination groups are a pure function of (source, lseq),
+  /// so the upcoming message's groups are known before it is drawn).
+  /// boost = 1 or an invalid gid resets. Exact no-op while unset.
+  void set_group_rate_boost(GroupId g, double boost);
+
   /// Scenario hook: blackout the wireless cell of `ap` (jamming, backhaul
   /// cut). While set, nothing crosses the AP<->MH radio in either
   /// direction: downlink frames, DeliveryAcks and uplink submissions are
@@ -283,6 +316,12 @@ class RingNetProtocol {
   const ProtocolConfig& config() const { return config_; }
   BrNode& node(NodeId id) { return brs_[id.index()]; }
   const std::vector<MhNode>& mhs() const { return mhs_; }
+  /// Multi-group mode flag and the current membership of one MH (empty in
+  /// the degenerate single-group deployment).
+  bool multi_group() const { return multi_; }
+  const proto::GroupSet& groups_of(NodeId mh) const {
+    return mh_groups_[mh.index()];
+  }
   MobilityModel& mobility() { return mobility_; }
   const DeliveryLog& deliveries() const { return deliveries_; }
 
@@ -346,13 +385,20 @@ class RingNetProtocol {
   void distribute(NodeId origin, const std::vector<proto::DataMsg>& batch);
   void br_receive_ordered(NodeId br, const proto::DataMsg& msg);
   void forward_down(NodeId br, const proto::DataMsg& msg);
+  void forward_down_multi(NodeId br, const proto::DataMsg& msg);
   void mh_receive(NodeId mh, const proto::DataMsg& msg, bool retransmission);
+  void mh_receive_multi(MhNode& m, const proto::DataMsg& msg);
   void deliver_at_mh(MhNode& node, const proto::DataMsg& msg);
 
   // --- acks / repair ------------------------------------------------------
   void spawn_ack_chain(NodeId mh, sim::SimTime delay);
   void ack_tick(NodeId mh, std::uint64_t gen);
   void br_receive_ack(NodeId br, NodeId mh, GlobalSeq next_expected);
+  void br_receive_ack_multi(NodeId br, NodeId mh, GlobalSeq tail);
+  /// Chain restart on (re)attach: rebuild the member's delivery chain at
+  /// the new BR from the archive, forwarding every retained message whose
+  /// destination groups intersect the member's from its watermark up.
+  void resync_member_multi(NodeId br, NodeId mh);
 
   // --- membership ---------------------------------------------------------
   void queue_membership_event(NodeId mh, NodeId ap);
@@ -397,6 +443,14 @@ class RingNetProtocol {
     // Envelope tag + DataMsg descriptor (proto::wire_size) + payload.
     return 41 + config_.source.payload_size;
   }
+  std::uint32_t data_bytes(const proto::DataMsg& m) const {
+    // The multi-group trailing section (count + gid/seq rows + chain link)
+    // rides the frame; legacy messages carry no section, so this reduces
+    // to data_bytes() byte-for-byte in the single-group deployment.
+    if (m.groups.empty()) return data_bytes();
+    return data_bytes() +
+           static_cast<std::uint32_t>(1 + 12 * m.groups.size() + 8);
+  }
 
   sim::Simulation& sim_;
   ProtocolConfig config_;
@@ -426,6 +480,34 @@ class RingNetProtocol {
   std::vector<GlobalSeq> member_wm_;   // by MH index: next-expected watermark
   std::vector<NodeId> member_br_;      // by MH index: serving BR (invalid =
                                        // not currently a member anywhere)
+
+  // --- multi-group (genuine multicast) state. Only populated when
+  // config_.groups.count > 1; the legacy path never touches any of it, so
+  // single-group runs stay bit-identical to the pre-group protocol.
+  bool multi_ = false;
+  std::vector<proto::GroupSet> mh_groups_;  // by MH index: joined groups
+  // Per-BR, per-group member slabs (dense gid-1 index). forward_down only
+  // walks the slabs of a message's destination groups, so a BR whose
+  // subtree has no members of those groups does zero downlink work — the
+  // genuineness property bench_groups measures.
+  std::vector<std::vector<std::vector<NodeId>>> group_members_;
+  // Per-member delivery-chain bookkeeping at the serving BR (all dense by
+  // MH index, touched only from the member's owning domain):
+  struct FwdEntry {
+    GlobalSeq gseq;  // assigned global sequence of the forwarded frame
+    GlobalSeq prev;  // chain link it was stamped with (predecessor's gseq+1)
+  };
+  std::vector<GlobalSeq> member_fwd_tail_;        // last forwarded coord
+  std::vector<std::deque<FwdEntry>> member_fwd_log_;  // unacked forwards
+  std::vector<GlobalSeq> member_seen_stamp_;  // forward dedupe (gseq+1 tag)
+  // Per-group assigned-seq high water (next seq to hand out), maintained at
+  // token assignment time in the serialized global context; Token
+  // Regeneration restores the counters from it so per-group seqs survive a
+  // lost token without a gap or a repeat.
+  std::vector<std::uint64_t> group_seq_high_;
+  GroupId boost_group_{0};     // flash-crowd target (0 = off)
+  double group_boost_ = 1.0;   // submit-rate multiplier for boost_group_
+
   std::vector<sim::Domain> mh_domain_;  // by MH index: owning exec context
   std::vector<SourceState> sources_;
   std::vector<std::vector<std::uint32_t>> sources_on_mh_;  // by MH index

@@ -1,0 +1,101 @@
+#pragma once
+// GroupSet: a compact, always-sorted set of GroupIds. Data messages carry
+// their destination groups in one; MH membership tables use the same type.
+// Small-vector storage: the common 1-4 destination groups live inline, and
+// only wider sets (overlap-degree sweeps, membership tables) spill to the
+// heap. The sorted invariant makes intersection a linear merge walk and
+// gives the wire form a canonical (strictly-increasing) encoding that the
+// decoder can validate byte-for-byte.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ringnet::proto {
+
+class GroupSet {
+ public:
+  static constexpr std::size_t kInline = 4;
+  // Wire form is a u8 count followed by strictly-increasing u32 gids.
+  static constexpr std::size_t kMaxEncoded = 255;
+
+  GroupSet() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  GroupId operator[](std::size_t i) const { return data()[i]; }
+  const GroupId* begin() const { return data(); }
+  const GroupId* end() const { return data() + size_; }
+
+  /// Insert keeping the ascending order; false if already present.
+  bool insert(GroupId g) {
+    const GroupId* d = data();
+    std::size_t pos = 0;
+    while (pos < size_ && d[pos] < g) ++pos;
+    if (pos < size_ && d[pos] == g) return false;
+    if (size_ < kInline) {
+      for (std::size_t i = size_; i > pos; --i) inline_[i] = inline_[i - 1];
+      inline_[pos] = g;
+    } else {
+      if (size_ == kInline) {
+        spill_.assign(inline_.begin(), inline_.end());
+      }
+      spill_.insert(spill_.begin() + static_cast<std::ptrdiff_t>(pos), g);
+    }
+    ++size_;
+    return true;
+  }
+
+  bool contains(GroupId g) const {
+    const GroupId* d = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (d[i] == g) return true;
+      if (g < d[i]) return false;
+    }
+    return false;
+  }
+
+  /// True when the two sets share any group: a merge walk over the sorted
+  /// storage, so the genuine-relay membership check is O(|a| + |b|).
+  bool intersects(const GroupSet& o) const {
+    const GroupId* a = data();
+    const GroupId* b = o.data();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < size_ && j < o.size_) {
+      if (a[i] == b[j]) return true;
+      if (a[i] < b[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return false;
+  }
+
+  void clear() {
+    size_ = 0;
+    spill_.clear();
+  }
+
+  friend bool operator==(const GroupSet& a, const GroupSet& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const GroupSet& a, const GroupSet& b) {
+    return !(a == b);
+  }
+
+ private:
+  const GroupId* data() const {
+    return size_ <= kInline ? inline_.data() : spill_.data();
+  }
+
+  std::array<GroupId, kInline> inline_{};
+  std::vector<GroupId> spill_;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace ringnet::proto

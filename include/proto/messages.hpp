@@ -7,13 +7,16 @@
 // a length-checked little-endian codec; decode returns nullopt on any
 // truncated or corrupt buffer instead of reading out of bounds.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
 #include "core/types.hpp"
+#include "proto/group_set.hpp"
 #include "sim/time.hpp"
 
 namespace ringnet::proto {
@@ -93,6 +96,11 @@ enum class MsgType : std::uint8_t {
   TokenAck = 6,
 };
 
+/// Destination-group cap for one data message. The wire extension stores a
+/// per-group sequence next to every destination gid; four keeps that block
+/// (and the in-memory stamp array) fixed-size without a heap spill.
+constexpr std::size_t kMaxDataGroups = 4;
+
 /// A multicast payload descriptor. `gseq`/`ordering_node`/`epoch` are
 /// unassigned (zero / invalid) until the message passes through the token
 /// holder's Message-Ordering step.
@@ -104,6 +112,19 @@ struct DataMsg {
   GlobalSeq gseq = 0;
   std::uint64_t epoch = 0;
   std::uint32_t payload_size = 0;
+  // Multi-group extension. An empty `groups` is the single-group degenerate
+  // case and encodes byte-identically to the pre-group wire layout; a
+  // non-empty set (at most kMaxDataGroups) appends a strictly-validated
+  // trailing section: the destination set, one per-group sequence number
+  // per destination (parallel to `groups`, stamped by the token holder),
+  // and the per-member delivery chain link.
+  GroupSet groups;
+  std::array<std::uint64_t, kMaxDataGroups> group_seqs{};
+  // Delivery chain: gseq+1 of the previous message the sending BR forwarded
+  // to this member (0 = chain head). Stamped per downlink send, so a member
+  // can tell an intentional hole (a gseq it is no destination of) from a
+  // lost frame without ring-wide state.
+  GlobalSeq prev_chain = 0;
   // Simulator-side bookkeeping, never serialized: stamped at submit() so
   // latency accounting reads the message instead of the (possibly remote)
   // source's submit log.
@@ -189,6 +210,22 @@ class OrderingToken {
   /// Global sequence assigned to (source, lseq), if still tabled.
   std::optional<GlobalSeq> lookup(NodeId source, LocalSeq lseq) const;
 
+  /// Per-group sequencer counters (multi-group mode): the token carries one
+  /// next-sequence counter per group that has ever been a destination, so
+  /// per-group numbering survives token hops exactly like next_gseq does.
+  /// Empty in single-group mode (legacy wire layout). Returns the assigned
+  /// (current) value and advances the counter.
+  std::uint64_t bump_group_seq(GroupId g);
+  /// Current next-sequence for `g` without advancing (0 when untracked).
+  std::uint64_t group_seq(GroupId g) const;
+  /// Restore a counter (token regeneration from the custodian's high-water
+  /// marks). Keeps the table sorted by gid.
+  void set_group_seq(GroupId g, std::uint64_t next);
+  const std::vector<std::pair<GroupId, std::uint64_t>>& group_counters()
+      const {
+    return group_counters_;
+  }
+
   void serialize(WireWriter& w) const;
   static std::optional<OrderingToken> deserialize(WireReader& r);
 
@@ -199,6 +236,8 @@ class OrderingToken {
   std::uint64_t rotation_ = 0;  // completed trips around the ring
   GlobalSeq next_gseq_ = 0;
   std::vector<WtsnpEntry> entries_;
+  // Sorted by gid; empty unless multi-group assignment has run.
+  std::vector<std::pair<GroupId, std::uint64_t>> group_counters_;
 };
 
 /// Zero-copy view over a serialized OrderingToken body. parse() validates
@@ -210,7 +249,9 @@ class TokenView {
  public:
   /// Parse a token *body* (the layout OrderingToken::serialize writes,
   /// without the 1-byte envelope tag). nullopt on truncation or a row
-  /// count that disagrees with the buffer length.
+  /// count that disagrees with the buffer length. A trailing per-group
+  /// counter section (multi-group mode) is length-validated here and read
+  /// on demand via group_counter().
   static std::optional<TokenView> parse(const std::uint8_t* data,
                                         std::size_t size);
   static std::optional<TokenView> parse(const std::vector<std::uint8_t>& buf) {
@@ -231,9 +272,15 @@ class TokenView {
   /// deserializing the table.
   std::optional<GlobalSeq> lookup(NodeId source, LocalSeq lseq) const;
 
+  /// Per-group counter section (0 entries on a legacy-layout token).
+  std::size_t group_counter_count() const { return group_counter_count_; }
+  std::pair<GroupId, std::uint64_t> group_counter(std::size_t i) const;
+
  private:
   const std::uint8_t* rows_ = nullptr;  // first WTSNP row
   std::size_t entry_count_ = 0;
+  const std::uint8_t* group_rows_ = nullptr;  // first (gid, next) pair
+  std::size_t group_counter_count_ = 0;
   GroupId gid_;
   std::uint64_t epoch_ = 0;
   std::uint64_t serial_ = 0;

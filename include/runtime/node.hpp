@@ -14,11 +14,13 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/types.hpp"
 #include "proto/messages.hpp"
 #include "runtime/event_loop.hpp"
@@ -26,6 +28,8 @@
 
 namespace ringnet::runtime {
 
+// RN007-ok: control-plane tag for acks/membership/token lineage frames, not
+// an ordering-state index; data-plane groups come from core::GroupConfig.
 constexpr GroupId kRuntimeGroup{1};
 constexpr std::int64_t kNeverUs = -(std::int64_t{1} << 62);
 
@@ -148,6 +152,10 @@ struct BrConfig {
   std::vector<NodeId> own_aps;    // APs in this BR's subtree
   std::vector<NodeId> members;    // boot membership: MHs in this subtree
   std::vector<NodeId> member_ap;  // parallel to members: serving AP
+  // Multi-group mode (groups.multi()): member group tables are derived from
+  // core::member_groups so the sim oracle and the runtime agree byte-for-
+  // byte on who receives what.
+  core::GroupConfig groups;
   RuntimeOptions opts;
 };
 
@@ -173,12 +181,28 @@ class BrRuntime final : public RuntimeNode {
     LocalSeq next_expected = 0;
     std::unordered_map<LocalSeq, proto::DataMsg> pending;
   };
+  // One link of a member's delivery chain: the forwarded message's gseq and
+  // the chain coordinate (gseq + 1) of its predecessor on this member's
+  // chain. Entries are appended in forwarding order, so coordinates rise
+  // strictly along the log.
+  struct FwdEntry {
+    GlobalSeq gseq = 0;
+    GlobalSeq prev = 0;
+  };
   struct Member {
-    NodeId ap;
+    NodeId ap = NodeId::invalid();
+    // Acked watermark. Legacy mode: next expected gseq. Multi-group mode:
+    // the member's chain tail — both live in the same gseq+1 coordinate
+    // space, so the stall/resync machinery is shared.
     GlobalSeq next_expected = 0;
     GlobalSeq prev_ack_wm = 0;  // watermark of the previous ack (stall check)
     std::uint32_t stalled_acks = 0;  // consecutive acks with no progress
     std::int64_t last_resend_us = kNeverUs;
+    // Multi-group chain state: memberships, the coordinate of the newest
+    // chain-forwarded message, and the unacked chain links.
+    proto::GroupSet groups;
+    GlobalSeq fwd_tail = 0;
+    std::deque<FwdEntry> fwd_log;
   };
   struct TokenKey {
     std::uint64_t epoch = 0, serial = 0, rotation = 0;
@@ -193,11 +217,14 @@ class BrRuntime final : public RuntimeNode {
   };
 
   bool leader() const { return cfg_.ring.front() == cfg_.self; }
+  bool multi() const { return cfg_.groups.multi(); }
   NodeId next_br() const;
   void handle_proto(const Datagram& d, std::int64_t now_us);
   void handle_uplink(const proto::DataMsg& msg);
+  void ack_uplink(NodeId source, const SourceIn& si);
   void store_and_forward_ordered(const proto::DataMsg& msg,
                                  std::int64_t now_us);
+  void forward_chain(const proto::DataMsg& msg);
   void handle_token(proto::OrderingToken token, NodeId from,
                     std::int64_t now_us);
   void accept_token(proto::OrderingToken token, std::int64_t now_us);
@@ -206,6 +233,9 @@ class BrRuntime final : public RuntimeNode {
   void regenerate_token(std::int64_t now_us);
   void handle_member_ack(const proto::DeliveryAckMsg& ack,
                          std::int64_t now_us);
+  void handle_chain_ack(Member& m, NodeId member, GlobalSeq tail,
+                        std::int64_t now_us);
+  void request_pull(GlobalSeq g, std::int64_t now_us);
 
   BrConfig cfg_;
   Transport& tr_;
@@ -221,6 +251,12 @@ class BrRuntime final : public RuntimeNode {
   std::uint64_t assigned_ = 0;
   std::unordered_map<std::uint32_t, Member> members_;
   std::int64_t last_pull_us_ = kNeverUs;  // peer-pull request rate limit
+  // Multi-group mode: next gseq to chain-forward. Chain links must rise
+  // monotonically per member, so forwarding walks the MQ contiguously and
+  // out-of-order peer distributions wait for their hole to fill.
+  GlobalSeq chain_next_ = 0;
+  // Next per-group sequence to seed into a regenerated token.
+  std::unordered_map<std::uint32_t, std::uint64_t> group_seq_high_;
 
   bool has_token_ = false;
   proto::OrderingToken token_;
@@ -284,6 +320,9 @@ struct MhConfig {
   std::uint64_t expected_total = 0;  // deliveries before reporting Done
   std::uint32_t payload_size = 64;
   std::int64_t submit_phase_us = 0;  // desynchronizes source onsets
+  // Multi-group mode: destination sets come from core::dest_groups so the
+  // runtime submits exactly the workload the sim oracle replays.
+  core::GroupConfig groups;
   RuntimeOptions opts;
 };
 
@@ -314,6 +353,7 @@ class MhRuntime final : public RuntimeNode {
 
   void submit_one(std::int64_t now_us);
   void receive_ordered(const proto::DataMsg& msg, std::int64_t now_us);
+  void receive_chain(const proto::DataMsg& msg, std::int64_t now_us);
   void deliver(const proto::DataMsg& msg, std::int64_t now_us);
   void gap_skip_to(GlobalSeq floor, std::int64_t now_us);
   void send_ack();
@@ -329,9 +369,18 @@ class MhRuntime final : public RuntimeNode {
   std::int64_t next_submit_us_ = kNeverUs;
   LocalSeq next_lseq_ = 0;
   std::deque<PendingSubmit> pending_;
+  // Multi-group latency bookkeeping: the submit-ack prunes pending_ as soon
+  // as the BR accepts the uplink (the source need not be a destination of
+  // its own messages), so submit->delivery timing keeps its own lseq map.
+  // Bounded by the scripted msgs_to_send.
+  std::unordered_map<std::uint64_t, std::int64_t> submit_times_us_;
 
   GseqBuffer buf_;
   GlobalSeq next_expected_ = 0;
+  // Multi-group chain state: tail coordinate (gseq + 1 of the last chain
+  // delivery) and out-of-chain arrivals held keyed by their own coordinate.
+  GlobalSeq multi_tail_ = 0;
+  std::map<GlobalSeq, proto::DataMsg> held_;
   std::vector<DeliveredRec> log_;
   std::uint64_t delivered_ = 0;
   std::vector<std::int64_t> lat_us_;

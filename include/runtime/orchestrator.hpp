@@ -27,6 +27,10 @@ struct LoopbackSpec {
   double rate_hz = 50.0;
   std::uint32_t msgs_per_source = 20;
   std::uint32_t payload_size = 64;
+  // Multi-group mode (groups.multi()): memberships and destination sets are
+  // derived via core::member_groups / core::dest_groups, so the same spec
+  // replayed through the sim oracle produces the identical workload.
+  core::GroupConfig groups;
   RuntimeOptions opts;
   // Stretches every watchdog and slows the workload uniformly; >1 keeps
   // sanitizer legs (5-15x slower than real time) inside the same timing
@@ -41,8 +45,17 @@ struct LoopbackSpec {
 
   std::size_t n_aps() const { return num_brs * aps_per_br; }
   std::size_t n_mhs() const { return n_aps() * mhs_per_ap; }
+  /// Expected deliveries at MH #m: every message in legacy mode, only the
+  /// destined subsequence (membership intersects destination set) in
+  /// multi-group mode.
+  std::uint64_t expected_at(std::size_t m) const;
   std::uint64_t expected_total() const {
-    return static_cast<std::uint64_t>(n_mhs()) * msgs_per_source;
+    if (!groups.multi()) {
+      return static_cast<std::uint64_t>(n_mhs()) * msgs_per_source;
+    }
+    std::uint64_t total = 0;
+    for (std::size_t m = 0; m < n_mhs(); ++m) total += expected_at(m);
+    return total;
   }
 };
 

@@ -43,6 +43,11 @@ class Engine {
   void leave(std::size_t mh);
   void mass_leave();
 
+  // --- group dynamics (multi-group runs only) ----------------------------
+  void schedule_group_churn(std::size_t mh);
+  void group_churn(std::size_t mh);
+  void group_flash();
+
   // --- faults ------------------------------------------------------------
   void schedule_fault(const FaultEvent& ev);
 
@@ -62,6 +67,7 @@ class Engine {
   std::vector<std::size_t> home_;      // commuter endpoints (cell indexes)
   std::vector<std::size_t> work_;
   std::size_t hotspot_cursor_ = 0;  // flashes rotate deterministically
+  std::size_t flash_cursor_ = 0;    // hot group rotates deterministically
 };
 
 }  // namespace ringnet::scenario

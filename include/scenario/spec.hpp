@@ -60,6 +60,21 @@ struct TrafficSpec {
   double sender_skew = 0.0;
 };
 
+/// Multi-group section: runs the deployment in genuine multi-group mode
+/// (forwarded into core::GroupConfig by the harness) plus the optional
+/// group dynamics the engine drives — membership churn (members swap one
+/// group for another at churn_rate) and a rotating flash crowd (sources
+/// submit boost-x faster toward one hot group, which moves every
+/// flash_interval).
+struct GroupSpec {
+  std::size_t count = 8;          // total groups sharing the ring
+  std::size_t groups_per_mh = 2;  // overlap degree: memberships per MH
+  std::size_t dest_groups = 2;    // destination groups per message
+  double churn_rate_hz = 0.0;     // per-MH group swap rate (0 = static)
+  double flash_boost = 1.0;       // hot-group rate multiplier (1 = off)
+  sim::SimTime flash_interval = sim::secs(0.5);  // hot-group rotation
+};
+
 struct FaultEvent {
   enum class Kind : std::uint8_t {
     BrCrash,       // crash BR #index at `at` (token loss when custodian)
@@ -79,6 +94,9 @@ struct ScenarioSpec {
   ChurnSpec churn;
   bool has_traffic = false;  // when set, traffic overrides config.source
   TrafficSpec traffic;
+  // When set, overrides config.groups: the run becomes a multi-group
+  // deployment and the engine drives the spec's group dynamics.
+  std::optional<GroupSpec> groups;
   std::vector<FaultEvent> faults;
   // Optional protocol-option override: scenarios probing the retention /
   // loss trade (rejoin-after-absence beyond the MQ window) carry it here
@@ -94,9 +112,10 @@ struct ScenarioSpec {
 /// Section keys: mobility=waypoint|commuter|hotspot (rate, period,
 /// fraction, interval, dwell), churn=poisson|mass (leave, absence, rejoin,
 /// mass_at, mass_frac, mass_rejoin), traffic=constant|poisson|mmpp|diurnal
-/// (rate, burst, on, off, period, skew), fault=crash|eject|tokenloss|
-/// blackout (br, ap, at, dur). Returns nullopt and sets `error` on any
-/// unknown section, key or malformed value.
+/// (rate, burst, on, off, period, skew), groups=<count> (per_mh, dest,
+/// churn, boost, flash), fault=crash|eject|tokenloss|blackout (br, ap, at,
+/// dur). Returns nullopt and sets `error` on any unknown section, key or
+/// malformed value.
 std::optional<ScenarioSpec> parse_scenario(const std::string& text,
                                            std::string* error = nullptr);
 

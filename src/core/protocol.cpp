@@ -7,10 +7,14 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/groups.hpp"
+
 namespace ringnet::core {
 
 namespace {
 
+// RN007-ok: the degenerate single-group deployment's one ring-wide group;
+// multi-group state is always reached through a message's GroupSet instead.
 constexpr GroupId kGroup{1};
 constexpr std::uint32_t kAckBytes = 17;
 constexpr std::uint32_t kHeartbeatBytes = 13;
@@ -89,6 +93,19 @@ RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
   mhs_.reserve(n_mh);
   member_wm_.assign(n_mh, 0);
   member_br_.assign(n_mh, NodeId::invalid());
+  multi_ = config_.groups.multi();
+  mh_groups_.assign(n_mh, {});
+  if (multi_) {
+    group_members_.assign(
+        n_br, std::vector<std::vector<NodeId>>(config_.groups.count));
+    member_fwd_tail_.assign(n_mh, 0);
+    member_fwd_log_.assign(n_mh, {});
+    member_seen_stamp_.assign(n_mh, 0);
+    group_seq_high_.assign(config_.groups.count, 0);
+    for (std::size_t i = 0; i < n_mh; ++i) {
+      mh_groups_[i] = member_groups(i, config_.groups);
+    }
+  }
   mh_domain_.assign(n_mh, gdom());
   sources_on_mh_.assign(n_mh, {});
   membership_seq_.assign(n_mh, 0);
@@ -100,6 +117,11 @@ RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
     member_br_[mh.index()] = br;
     mh_domain_[mh.index()] = br_domain(br);
     ++ap_occupancy_[ap.index()];
+    if (multi_) {
+      for (GroupId g : mh_groups_[mh.index()]) {
+        group_members_[br.index()][group_index(g)].push_back(mh);
+      }
+    }
   }
   deliveries_.reset(topo_.mhs);
   lat_hists_.resize(n_ctx);
@@ -249,8 +271,20 @@ void RingNetProtocol::source_tick(std::size_t idx, std::uint64_t gen) {
   msg.source = src.source_id;
   msg.lseq = src.next_lseq++;
   msg.payload_size = config_.source.payload_size;
+  if (multi_) {
+    msg.groups = dest_groups(src.source_id, msg.lseq, config_.groups);
+    msg.gid = msg.groups[0];
+  }
   submit(src, msg);
   sim::SimTime dt = next_submit_interval(src);
+  if (multi_ && group_boost_ != 1.0 && boost_group_.v != 0 &&
+      dest_groups(src.source_id, src.next_lseq, config_.groups)
+          .contains(boost_group_)) {
+    // Flash crowd: the upcoming message targets the hot group, so this
+    // source submits it boost-x sooner. Pure function of (source, lseq) —
+    // no extra RNG draws, so the schedule stays replayable.
+    dt = sim::secs(dt.seconds() / group_boost_);
+  }
   // Floor at one tick: a zero interval (microsecond rounding at extreme
   // rates) would reschedule at the same timestamp forever.
   if (dt <= sim::SimTime::zero()) dt = sim::usecs(1);
@@ -333,7 +367,7 @@ void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
     release_submit(msg);  // dropped before assignment: never archived
     return;
   }
-  const sim::SimTime delay = uplink_delay(mh, data_bytes());
+  const sim::SimTime delay = uplink_delay(mh, data_bytes(msg));
   if (config_.options.ordered) {
     sim_.after(br_domain(br), delay, [this, br, msg] {
       BrNode& b = brs_[br.index()];
@@ -410,6 +444,16 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
         m.gseq = token.append_range(br, m.source, m.lseq, m.lseq);
         m.ordering_node = br;
         m.epoch = token.epoch();
+        if (multi_ && !m.groups.empty()) {
+          // Per-destination-group dense sequence, drawn from the token's
+          // group counters so it is totally ordered ring-wide. With the
+          // one shared ring the cross-group timestamp merge collapses to
+          // gseq itself; the per-group seqs feed traces and accounting.
+          for (std::size_t i = 0; i < m.groups.size(); ++i) {
+            m.group_seqs[i] = token.bump_group_seq(m.groups[i]);
+            group_seq_high_[group_index(m.groups[i])] = m.group_seqs[i] + 1;
+          }
+        }
         return true;
       },
       dropped);
@@ -448,8 +492,9 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
 
   const NodeId next = next_alive_br(br);
   if (!next.valid()) return;  // ring fully gone
-  const std::uint32_t token_bytes =
-      static_cast<std::uint32_t>(41 + 32 * token.entries().size());
+  const std::uint32_t token_bytes = static_cast<std::uint32_t>(
+      41 + 32 * token.entries().size() +
+      12 * token.group_counters().size());
   sim::SimTime delay = config_.options.token_hold;
   if (next == br) {
     delay += sim::msecs(1);  // 1-ring (sequencer): pace the self-visit
@@ -478,8 +523,8 @@ void RingNetProtocol::distribute(NodeId origin,
   // batch; each (origin, destination) link runs its own loss/ARQ process.
   const auto frame =
       std::make_shared<const std::vector<proto::DataMsg>>(batch);
-  const std::uint32_t frame_bytes = static_cast<std::uint32_t>(
-      data_bytes() * static_cast<std::uint32_t>(batch.size()));
+  std::uint32_t frame_bytes = 0;
+  for (const auto& m : batch) frame_bytes += data_bytes(m);
   for (NodeId br : alive_ring_) {
     if (br == origin) continue;
     const sim::SimTime delay = hop_delay(
@@ -509,8 +554,18 @@ void RingNetProtocol::br_receive_ordered(NodeId br, const proto::DataMsg& msg) {
 }
 
 void RingNetProtocol::forward_down(NodeId br, const proto::DataMsg& msg) {
+  if (multi_ && !msg.groups.empty()) {
+    forward_down_multi(br, msg);
+    return;
+  }
   const sim::Domain dom = br_domain(br);
-  for (NodeId mh : br_members_[br.index()]) {
+  const auto& members = br_members_[br.index()];
+  if (members.empty()) return;
+  // One refcounted copy carries the frame to every member; the per-member
+  // fan-out is the hottest loop in the deployment and must not copy the
+  // full DataMsg per destination (same idiom as distribute()'s ring frame).
+  const auto frame = std::make_shared<const proto::DataMsg>(msg);
+  for (NodeId mh : members) {
     MhNode& m = mhs_[mh.index()];
     if (!m.attached_) continue;
     if (cell_blacked_out(m.ap_)) {
@@ -520,7 +575,51 @@ void RingNetProtocol::forward_down(NodeId br, const proto::DataMsg& msg) {
       continue;
     }
     const sim::SimTime delay = downlink_delay(mh, data_bytes());
-    sim_.after(dom, delay, [this, mh, msg] { mh_receive(mh, msg, false); });
+    sim_.after(dom, delay,
+               [this, mh, frame] { mh_receive(mh, *frame, false); });
+  }
+}
+
+void RingNetProtocol::forward_down_multi(NodeId br, const proto::DataMsg& msg) {
+  // Genuine relay: walk only the destination groups' member slabs. A BR
+  // whose subtree holds no member of any destination group does zero work
+  // here — per-message downlink cost scales with the destination
+  // membership, not the deployment's group count or MH population.
+  const sim::Domain dom = br_domain(br);
+  auto& slabs = group_members_[br.index()];
+  const GlobalSeq stamp = msg.gseq + 1;  // chain coordinate of this frame
+  for (GroupId g : msg.groups) {
+    for (NodeId mh : slabs[group_index(g)]) {
+      const std::size_t i = mh.index();
+      if (member_seen_stamp_[i] == stamp) continue;  // overlapping groups
+      member_seen_stamp_[i] = stamp;
+      MhNode& m = mhs_[i];
+      proto::DataMsg copy = msg;
+      if (config_.options.ordered) {
+        // Chain the frame to the previous one forwarded to this member,
+        // and log it for ack-driven resends, even when the radio is dark:
+        // the chain must name every destined message or the member could
+        // not tell a loss from a non-destination gseq hole.
+        copy.prev_chain = member_fwd_tail_[i];
+        member_fwd_tail_[i] = stamp;
+        auto& log = member_fwd_log_[i];
+        log.push_back(FwdEntry{msg.gseq, copy.prev_chain});
+        if (log.size() > config_.options.mq_retention + kResendWindow) {
+          // A member that never acks (crashed radio, endless blackout)
+          // must not grow O(total sent) state: drop the oldest unacked
+          // forward — the ack-driven resync splices the chain over it.
+          log.pop_front();
+        }
+      }
+      if (!m.attached_) continue;  // repaired via the forward-log resend
+      if (cell_blacked_out(m.ap_)) {
+        sim_.metrics().incr(mid_.blackout_dropped);
+        continue;
+      }
+      const sim::SimTime delay = downlink_delay(mh, data_bytes(copy));
+      sim_.after(dom, delay,
+                 [this, mh, copy] { mh_receive(mh, copy, false); });
+    }
   }
 }
 
@@ -546,10 +645,32 @@ void RingNetProtocol::mh_receive(NodeId mh, const proto::DataMsg& msg,
     deliver_at_mh(m, msg);
     return;
   }
+  if (multi_ && !msg.groups.empty()) {
+    mh_receive_multi(m, msg);
+    return;
+  }
   if (!m.mq_.store(msg, sim_.now())) return;
   for (const auto& d : m.mq_.deliverable()) {
     m.mq_.mark_delivered(d.gseq);
     deliver_at_mh(m, d);
+  }
+}
+
+void RingNetProtocol::mh_receive_multi(MhNode& m, const proto::DataMsg& msg) {
+  // Chain-order delivery: a frame is deliverable once its predecessor in
+  // the member's chain (prev_chain) has been delivered or settled
+  // (coordinate <= multi_tail_). Held frames wait keyed by their own
+  // coordinate; coordinates rise along the chain, so draining the smallest
+  // held frame while its link is satisfied replays the chain in order.
+  const GlobalSeq coord = msg.gseq + 1;
+  if (coord <= m.multi_tail_) return;  // duplicate (already delivered)
+  if (!m.multi_held_.emplace(coord, msg).second) return;  // duplicate
+  while (!m.multi_held_.empty()) {
+    auto it = m.multi_held_.begin();
+    if (it->second.prev_chain > m.multi_tail_) break;  // link missing
+    m.multi_tail_ = it->first;
+    deliver_at_mh(m, it->second);
+    m.multi_held_.erase(it);
   }
 }
 
@@ -571,7 +692,19 @@ void RingNetProtocol::deliver_at_mh(MhNode& node, const proto::DataMsg& msg) {
     }
   }
   if (config_.record_deliveries && config_.options.ordered) {
-    deliveries_.record(node.id_, msg.gseq, msg.source, msg.lseq);
+    GroupId gid = msg.gid;
+    if (multi_ && !msg.groups.empty()) {
+      // Credit the delivery to the smallest destination group this member
+      // belongs to — deterministic, so serial and sharded runs agree.
+      const proto::GroupSet& mine = mh_groups_[node.id_.index()];
+      for (GroupId g : msg.groups) {
+        if (mine.contains(g)) {
+          gid = g;
+          break;
+        }
+      }
+    }
+    deliveries_.record(node.id_, msg.gseq, msg.source, msg.lseq, gid);
   }
 }
 
@@ -601,7 +734,10 @@ void RingNetProtocol::ack_tick(NodeId mh, std::uint64_t gen) {
   const NodeId br = ap_br_[m.ap_.index()];
   if (!br.valid() || !brs_[br.index()].alive_) return;
   sim_.metrics().incr(mid_.acks_sent);
-  const GlobalSeq wm = m.mq_.next_expected();
+  // Multi-group members ack their chain tail instead of the MQ cursor —
+  // same coordinate space (a gseq+1 frontier), so the BR-side watermark,
+  // floor and pruning math is shared between the modes.
+  const GlobalSeq wm = multi_ ? m.multi_tail_ : m.mq_.next_expected();
   const sim::SimTime delay = uplink_delay(mh, kAckBytes);
   sim_.after(delay, [this, br, mh, wm] { br_receive_ack(br, mh, wm); });
 }
@@ -615,6 +751,10 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
     member_wm_[mh.index()] = next_expected;
   }
   mark_acked(b);
+  if (multi_) {
+    br_receive_ack_multi(br, mh, next_expected);
+    return;
+  }
 
   // Resynchronize the member from the MQ. Anything older than the MQ's
   // ValidFront is unrecoverable from here: tell the member to skip the gap.
@@ -682,6 +822,129 @@ void RingNetProtocol::br_receive_ack(NodeId br, NodeId mh,
     sim_.metrics().incr(mid_.retransmits);
     sim_.after(delay, [this, mh, m = *msg] { mh_receive(mh, m, true); });
     if (++resent >= kResendWindow) break;
+  }
+}
+
+void RingNetProtocol::br_receive_ack_multi(NodeId br, NodeId mh,
+                                           GlobalSeq tail) {
+  // Resynchronize a multi-group member from its forward log: every unacked
+  // frame the BR chained to this member, with its original chain link, so
+  // a resend slots into the exact hole the member is waiting on. Entries
+  // whose payload has left both the MQ and the archive are spliced out of
+  // the chain (the successor inherits their link) and counted as really
+  // lost — the multi-mode analogue of the legacy gap skip.
+  BrNode& b = brs_[br.index()];
+  const sim::SimTime grace =
+      config_.options.ack_period + config_.options.retx_timeout;
+  // Store-only peer repair for holes in this BR's own MQ (it missed a
+  // multicast, e.g. while wrongly ejected from the ring): fetch overdue
+  // copies from the archive so the subtree-acked floor keeps advancing.
+  // Unlike the legacy path this must NOT re-forward — the subtree's
+  // members never had these frames chained, and chaining an old gseq
+  // behind newer ones would corrupt their delivery chains.
+  if (any_assigned_) {
+    const GlobalSeq from = b.mq_.next_expected();
+    const GlobalSeq stop =
+        std::min(max_assigned_gseq_, from + kResendWindow);
+    for (GlobalSeq g = from; g <= stop; ++g) {
+      if (b.mq_.stored_at(g)) continue;
+      const proto::DataMsg* arch = archive_lookup(g);
+      if (!arch || archive_stored_at(g) + grace > sim_.now()) continue;
+      sim_.metrics().incr(mid_.retransmits);
+      const sim::SimTime d =
+          hop_delay(config_.hierarchy.wan,
+                    net::link_key(arch->ordering_node, br), data_bytes(*arch));
+      sim_.after(d, [this, br, m = *arch] {
+        BrNode& bb = brs_[br.index()];
+        if (!bb.alive_) return;
+        bb.mq_.store(m, sim_.now());
+      });
+    }
+  }
+  auto& log = member_fwd_log_[mh.index()];
+  while (!log.empty() && log.front().gseq + 1 <= tail) log.pop_front();
+  if (log.empty()) return;
+  // The front's predecessor is no longer in the log; if the member has not
+  // settled it (link above the tail), it was dropped beyond recovery —
+  // reconnect the chain at the member's tail so it can advance.
+  if (log.front().prev > tail) {
+    log.front().prev = tail;
+    sim_.metrics().incr(mid_.gaps_skipped);
+    sim_.trace().record(sim::TraceKind::GapSkip, sim_.now(), mh, 1);
+  }
+  std::size_t resent = 0;
+  for (auto it = log.begin(); it != log.end() && resent < kResendWindow;) {
+    const proto::DataMsg* stored = nullptr;
+    auto from_mq = b.mq_.fetch(it->gseq);
+    if (from_mq) {
+      stored = &*from_mq;
+    } else {
+      stored = archive_lookup(it->gseq);
+    }
+    if (!stored) {
+      // Payload unrecoverable: splice this frame out of the member's chain.
+      const GlobalSeq prev = it->prev;
+      it = log.erase(it);
+      if (it != log.end()) it->prev = prev;
+      sim_.metrics().incr(mid_.gap_skipped_msgs);
+      continue;
+    }
+    const sim::SimTime at =
+        from_mq ? b.mq_.stored_at(it->gseq).value_or(sim::SimTime::zero())
+                : archive_stored_at(it->gseq);
+    if (at + grace > sim_.now()) {
+      ++it;
+      continue;  // normally in flight; do not duplicate it
+    }
+    proto::DataMsg copy = *stored;
+    copy.prev_chain = it->prev;
+    sim_.metrics().incr(mid_.retransmits);
+    const sim::SimTime delay = downlink_delay(mh, data_bytes(copy));
+    sim_.after(delay, [this, mh, copy] { mh_receive(mh, copy, true); });
+    ++resent;
+    ++it;
+  }
+}
+
+void RingNetProtocol::resync_member_multi(NodeId /*br*/, NodeId mh) {
+  // Chain restart after a (re)attach: the new BR knows nothing about the
+  // member's old chain, so it restarts one at the member's delivered tail
+  // and replays every archived message destined to the member from there
+  // up, in gseq order. Stragglers still in flight from the previous BR
+  // arrive as duplicates (their coordinate is at or below the tail, or
+  // collides with a replayed frame) and are dropped at the member.
+  const std::size_t i = mh.index();
+  MhNode& m = mhs_[i];
+  const GlobalSeq tail = m.multi_tail_;
+  member_fwd_tail_[i] = tail;
+  member_fwd_log_[i].clear();
+  m.multi_held_.clear();  // old-chain holds can never link up again
+  if (!any_assigned_) return;
+  if (tail < archive_base_) {
+    // Messages between the tail and the archive's base fell out of
+    // retention while the member was away: they are really lost. The
+    // count is in gseqs, an overestimate of destined messages (holes for
+    // other groups are counted too) — exact accounting would need the
+    // pruned payloads back.
+    sim_.metrics().incr(mid_.gaps_skipped);
+    sim_.metrics().incr(mid_.gap_skipped_msgs, archive_base_ - tail);
+    sim_.trace().record(sim::TraceKind::GapSkip, sim_.now(), mh,
+                        archive_base_ - tail);
+  }
+  const proto::GroupSet& mine = mh_groups_[i];
+  const GlobalSeq from = tail > archive_base_ ? tail : archive_base_;
+  for (GlobalSeq g = from; g <= max_assigned_gseq_; ++g) {
+    const proto::DataMsg* arch = archive_lookup(g);
+    if (!arch || !arch->groups.intersects(mine)) continue;
+    proto::DataMsg copy = *arch;
+    copy.prev_chain = member_fwd_tail_[i];
+    member_fwd_tail_[i] = g + 1;
+    member_fwd_log_[i].push_back(FwdEntry{g, copy.prev_chain});
+    if (!m.attached_ || cell_blacked_out(m.ap_)) continue;
+    sim_.metrics().incr(mid_.retransmits);
+    const sim::SimTime delay = downlink_delay(mh, data_bytes(copy));
+    sim_.after(mh_domain_[i], delay,
+               [this, mh, copy] { mh_receive(mh, copy, true); });
   }
 }
 
@@ -958,6 +1221,15 @@ void RingNetProtocol::regenerate_token() {
   proto::OrderingToken token(kGroup, current_epoch_);
   token.set_serial(active_token_serial_);
   token.set_next_gseq(any_assigned_ ? max_assigned_gseq_ + 1 : 0);
+  if (multi_) {
+    // Restore the per-group counters alongside the global one, or the
+    // regenerated token would re-issue per-group seqs from zero.
+    for (std::size_t gi = 0; gi < group_seq_high_.size(); ++gi) {
+      if (group_seq_high_[gi] != 0) {
+        token.set_group_seq(group_of_index(gi), group_seq_high_[gi]);
+      }
+    }
+  }
   const NodeId leader = leader_br();
   token_custodian_ = leader;
   sim_.metrics().incr(mid_.token_regenerated);
@@ -1051,6 +1323,14 @@ void RingNetProtocol::detach_from_cell(MhNode& m) {
     auto& members = br_members_[old_br.index()];
     members.erase(std::remove(members.begin(), members.end(), m.id_),
                   members.end());
+    if (multi_) {
+      auto& slabs = group_members_[old_br.index()];
+      for (GroupId g : mh_groups_[m.id_.index()]) {
+        auto& slab = slabs[group_index(g)];
+        slab.erase(std::remove(slab.begin(), slab.end(), m.id_), slab.end());
+      }
+      member_fwd_log_[m.id_.index()].clear();  // chain restarts on attach
+    }
     member_br_[m.id_.index()] = NodeId::invalid();
     BrNode& b = brs_[old_br.index()];
     if (b.alive_) mark_acked(b);
@@ -1108,6 +1388,47 @@ void RingNetProtocol::reattach_mh(NodeId mh, NodeId ap) {
   schedule_attach(m, ap, ap_is_hot(ap, mh));
 }
 
+void RingNetProtocol::join_group(NodeId mh, GroupId g) {
+  if (!multi_ || g.v == 0 || group_index(g) >= config_.groups.count) return;
+  if (!mh_groups_[mh.index()].insert(g)) return;  // already a member
+  const NodeId br = member_br_[mh.index()];
+  if (br.valid()) {
+    // Messages ordered after this point reach the member through its
+    // existing delivery chain; nothing already chained is disturbed.
+    group_members_[br.index()][group_index(g)].push_back(mh);
+  }
+}
+
+void RingNetProtocol::leave_group(NodeId mh, GroupId g) {
+  if (!multi_ || g.v == 0 || group_index(g) >= config_.groups.count) return;
+  auto& mine = mh_groups_[mh.index()];
+  if (!mine.contains(g)) return;
+  // Never leave a member groupless: a chain that can no longer grow would
+  // pin the member's ack watermark — and with it the ring-wide acked
+  // floor — at its current tail forever.
+  if (mine.size() <= 1) return;
+  proto::GroupSet rest;
+  for (GroupId other : mine) {
+    if (!(other == g)) rest.insert(other);
+  }
+  mine = rest;
+  const NodeId br = member_br_[mh.index()];
+  if (br.valid()) {
+    auto& slab = group_members_[br.index()][group_index(g)];
+    slab.erase(std::remove(slab.begin(), slab.end(), mh), slab.end());
+  }
+}
+
+void RingNetProtocol::set_group_rate_boost(GroupId g, double boost) {
+  if (g.v == 0 || boost <= 0.0) {
+    boost_group_ = GroupId{0};
+    group_boost_ = 1.0;
+    return;
+  }
+  boost_group_ = g;
+  group_boost_ = boost;
+}
+
 void RingNetProtocol::lose_token() {
   if (!config_.options.ordered || token_lost_) return;
   lost_serials_.insert(active_token_serial_);
@@ -1144,7 +1465,16 @@ void RingNetProtocol::complete_attach(NodeId mh, NodeId ap) {
   if (br.valid()) {
     br_members_[br.index()].push_back(mh);
     member_br_[mh.index()] = br;
-    member_wm_[mh.index()] = m.mq_.next_expected();
+    if (multi_) {
+      auto& slabs = group_members_[br.index()];
+      for (GroupId g : mh_groups_[mh.index()]) {
+        slabs[group_index(g)].push_back(mh);
+      }
+      member_wm_[mh.index()] = m.multi_tail_;
+      if (config_.options.ordered) resync_member_multi(br, mh);
+    } else {
+      member_wm_[mh.index()] = m.mq_.next_expected();
+    }
     BrNode& b = brs_[br.index()];
     if (b.alive_) mark_acked(b);
   }

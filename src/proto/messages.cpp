@@ -40,6 +40,34 @@ std::optional<GlobalSeq> OrderingToken::lookup(NodeId source,
   return std::nullopt;
 }
 
+std::uint64_t OrderingToken::bump_group_seq(GroupId g) {
+  auto it = std::lower_bound(
+      group_counters_.begin(), group_counters_.end(), g,
+      [](const auto& e, GroupId gid) { return e.first < gid; });
+  if (it == group_counters_.end() || it->first != g) {
+    it = group_counters_.insert(it, {g, 0});
+  }
+  return it->second++;
+}
+
+std::uint64_t OrderingToken::group_seq(GroupId g) const {
+  const auto it = std::lower_bound(
+      group_counters_.begin(), group_counters_.end(), g,
+      [](const auto& e, GroupId gid) { return e.first < gid; });
+  return it != group_counters_.end() && it->first == g ? it->second : 0;
+}
+
+void OrderingToken::set_group_seq(GroupId g, std::uint64_t next) {
+  auto it = std::lower_bound(
+      group_counters_.begin(), group_counters_.end(), g,
+      [](const auto& e, GroupId gid) { return e.first < gid; });
+  if (it == group_counters_.end() || it->first != g) {
+    group_counters_.insert(it, {g, next});
+  } else {
+    it->second = next;
+  }
+}
+
 void OrderingToken::serialize(WireWriter& w) const {
   w.u32(gid_.v);
   w.u64(epoch_);
@@ -53,6 +81,15 @@ void OrderingToken::serialize(WireWriter& w) const {
     w.u64(e.first);
     w.u64(e.last);
     w.u64(e.gseq_first);
+  }
+  // Trailing per-group counter section, only in multi-group mode: a legacy
+  // single-group token keeps the exact pre-group byte layout.
+  if (!group_counters_.empty()) {
+    w.u32(static_cast<std::uint32_t>(group_counters_.size()));
+    for (const auto& [g, next] : group_counters_) {
+      w.u32(g.v);
+      w.u64(next);
+    }
   }
 }
 
@@ -86,6 +123,26 @@ std::optional<OrderingToken> OrderingToken::deserialize(WireReader& r) {
     e.gseq_first = *gfirst;
     t.entries_.push_back(e);
   }
+  // Optional per-group counter section. Strict: a present section must
+  // parse completely (the envelope decoder then requires exhaustion), and
+  // gids must be strictly increasing — the canonical order serialize()
+  // writes — so a bit-flipped count or shuffled table is rejected instead
+  // of silently re-keying counters.
+  if (!r.exhausted()) {
+    const auto gc = r.u32();
+    if (!gc || *gc == 0) return std::nullopt;
+    t.group_counters_.reserve(*gc);
+    for (std::uint32_t i = 0; i < *gc; ++i) {
+      const auto gid = r.u32();
+      const auto next = r.u64();
+      if (!gid || !next) return std::nullopt;
+      if (!t.group_counters_.empty() &&
+          t.group_counters_.back().first.v >= *gid) {
+        return std::nullopt;
+      }
+      t.group_counters_.emplace_back(GroupId{*gid}, *next);
+    }
+  }
   return t;
 }
 
@@ -96,6 +153,7 @@ namespace {
 
 constexpr std::size_t kTokenHeaderBytes = 4 + 8 + 8 + 8 + 8 + 4;
 constexpr std::size_t kWtsnpRowBytes = 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kGroupCounterRowBytes = 4 + 8;
 
 std::uint32_t read_u32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) |
@@ -121,11 +179,27 @@ std::optional<TokenView> TokenView::parse(const std::uint8_t* data,
   v.rotation_ = read_u64(data + 20);
   v.next_gseq_ = read_u64(data + 28);
   v.entry_count_ = read_u32(data + 36);
-  if (size - kTokenHeaderBytes != v.entry_count_ * kWtsnpRowBytes) {
-    return std::nullopt;
-  }
+  const std::size_t rows_bytes = v.entry_count_ * kWtsnpRowBytes;
+  const std::size_t body = size - kTokenHeaderBytes;
+  if (body < rows_bytes) return std::nullopt;
   v.rows_ = data + kTokenHeaderBytes;
+  const std::size_t extra = body - rows_bytes;
+  if (extra == 0) return v;  // legacy layout: no group-counter section
+  // Trailing per-group counter section: u32 count + count fixed rows, and
+  // nothing else — any other trailing length is a corrupt frame.
+  if (extra < 4) return std::nullopt;
+  const std::uint8_t* sect = v.rows_ + rows_bytes;
+  const std::uint32_t gc = read_u32(sect);
+  if (gc == 0 || extra - 4 != gc * kGroupCounterRowBytes) return std::nullopt;
+  v.group_rows_ = sect + 4;
+  v.group_counter_count_ = gc;
   return v;
+}
+
+std::pair<GroupId, std::uint64_t> TokenView::group_counter(
+    std::size_t i) const {
+  const std::uint8_t* p = group_rows_ + i * kGroupCounterRowBytes;
+  return {GroupId{read_u32(p)}, read_u64(p + 4)};
 }
 
 WtsnpEntry TokenView::entry(std::size_t i) const {
@@ -181,6 +255,15 @@ void encode_body(const DataMsg& m, WireWriter& w) {
   w.u64(m.gseq);
   w.u64(m.epoch);
   w.u32(m.payload_size);
+  // Multi-group trailing section; absent (legacy byte layout) when the
+  // destination set is empty.
+  if (!m.groups.empty()) {
+    const std::size_t n = std::min(m.groups.size(), kMaxDataGroups);
+    w.u8(static_cast<std::uint8_t>(n));
+    for (std::size_t i = 0; i < n; ++i) w.u32(m.groups[i].v);
+    for (std::size_t i = 0; i < n; ++i) w.u64(m.group_seqs[i]);
+    w.u64(m.prev_chain);
+  }
 }
 
 std::optional<Message> decode_data(WireReader& r) {
@@ -202,6 +285,31 @@ std::optional<Message> decode_data(WireReader& r) {
   m.gseq = *gseq;
   m.epoch = *epoch;
   m.payload_size = *payload;
+  // Optional multi-group section. Strict: a present section must carry
+  // 1..kMaxDataGroups strictly-increasing gids (the canonical GroupSet
+  // order) plus exactly one seq per gid and the chain link; the envelope
+  // decoder then requires exhaustion, so truncations and padded frames
+  // both fail instead of mis-parsing.
+  if (!r.exhausted()) {
+    const auto n = r.u8();
+    if (!n || *n == 0 || *n > kMaxDataGroups) return std::nullopt;
+    std::uint32_t last = 0;
+    for (std::uint8_t i = 0; i < *n; ++i) {
+      const auto g = r.u32();
+      if (!g) return std::nullopt;
+      if (i > 0 && *g <= last) return std::nullopt;
+      last = *g;
+      m.groups.insert(GroupId{*g});
+    }
+    for (std::uint8_t i = 0; i < *n; ++i) {
+      const auto s = r.u64();
+      if (!s) return std::nullopt;
+      m.group_seqs[i] = *s;
+    }
+    const auto prev = r.u64();
+    if (!prev) return std::nullopt;
+    m.prev_chain = *prev;
+  }
   return Message(m);
 }
 
@@ -344,9 +452,18 @@ std::size_t wire_size(const Message& msg) {
   std::size_t body = 0;
   struct Visitor {
     std::size_t& body;
-    void operator()(const DataMsg& m) const { body = 40 + m.payload_size; }
+    void operator()(const DataMsg& m) const {
+      body = 40 + m.payload_size;
+      if (!m.groups.empty()) {
+        // u8 count + u32 gids + u64 seqs + u64 chain link.
+        body += 1 + m.groups.size() * 12 + 8;
+      }
+    }
     void operator()(const OrderingToken& m) const {
       body = 40 + m.entries().size() * 32;
+      if (!m.group_counters().empty()) {
+        body += 4 + m.group_counters().size() * 12;
+      }
     }
     void operator()(const DeliveryAckMsg&) const { body = 16; }
     void operator()(const MembershipMsg& m) const {

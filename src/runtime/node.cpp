@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/groups.hpp"
+
 namespace ringnet::runtime {
 
 namespace {
@@ -51,8 +53,12 @@ void RuntimeCounters::merge(const RuntimeCounters& o) {
 BrRuntime::BrRuntime(BrConfig cfg, Transport& tr)
     : cfg_(std::move(cfg)), tr_(tr) {
   for (std::size_t i = 0; i < cfg_.members.size(); ++i) {
-    members_[cfg_.members[i].v] = Member{cfg_.member_ap[i], 0, 0, 0,
-                                         kNeverUs};
+    Member m;
+    m.ap = cfg_.member_ap[i];
+    if (multi()) {
+      m.groups = core::member_groups(cfg_.members[i].index(), cfg_.groups);
+    }
+    members_[cfg_.members[i].v] = std::move(m);
   }
 }
 
@@ -137,9 +143,16 @@ void BrRuntime::handle_proto(const Datagram& d, std::int64_t now_us) {
         const bool ours = std::find(cfg_.own_aps.begin(), cfg_.own_aps.end(),
                                     ev.ap) != cfg_.own_aps.end();
         if (!ours) continue;
-        auto [it, inserted] = members_.try_emplace(
-            ev.mh.v, Member{ev.ap, 0, 0, 0, kNeverUs});
-        if (!inserted) it->second.ap = ev.ap;  // handoff: keep the watermark
+        Member fresh;
+        fresh.ap = ev.ap;
+        auto [it, inserted] =
+            members_.try_emplace(ev.mh.v, std::move(fresh));
+        if (!inserted) {
+          it->second.ap = ev.ap;  // handoff: keep the watermark
+        } else if (multi()) {
+          it->second.groups =
+              core::member_groups(ev.mh.index(), cfg_.groups);
+        }
       }
       if (d.src.tier() == Tier::AP) {
         for (NodeId peer : cfg_.ring) {
@@ -157,6 +170,7 @@ void BrRuntime::handle_uplink(const proto::DataMsg& msg) {
   SourceIn& si = uplink_[msg.source.v];
   if (msg.lseq < si.next_expected) {
     ++counters_.duplicates;
+    ack_uplink(msg.source, si);
     return;
   }
   if (msg.lseq == si.next_expected) {
@@ -169,10 +183,26 @@ void BrRuntime::handle_uplink(const proto::DataMsg& msg) {
       ++si.next_expected;
       it = si.pending.find(si.next_expected);
     }
+    ack_uplink(msg.source, si);
     return;
   }
   if (si.pending.size() >= kUplinkPendingCap) return;  // source ARQ re-offers
   if (!si.pending.emplace(msg.lseq, msg).second) ++counters_.duplicates;
+}
+
+void BrRuntime::ack_uplink(NodeId source, const SourceIn& si) {
+  // Multi-group mode only: a source need not be a member of its messages'
+  // destination groups, so seeing its own submission come back ordered (the
+  // legacy uplink-ARQ exit) is no longer guaranteed. Ack the contiguously
+  // accepted prefix instead; duplicates re-trigger it, covering a lost ack.
+  if (!multi()) return;
+  const auto it = members_.find(NodeId::make(Tier::MH, source.index()).v);
+  if (it == members_.end()) return;
+  tr_.send_msg(it->second.ap,
+               proto::Message(proto::DeliveryAckMsg{
+                   kRuntimeGroup, NodeId::make(Tier::MH, source.index()),
+                   si.next_expected}),
+               NodeId::make(Tier::MH, source.index()));
 }
 
 void BrRuntime::store_and_forward_ordered(const proto::DataMsg& msg,
@@ -194,7 +224,38 @@ void BrRuntime::store_and_forward_ordered(const proto::DataMsg& msg,
     any_seen_ = true;
   }
   mq_.prune_to(cfg_.opts.mq_retention);
+  if (multi()) {
+    // Chain links must rise monotonically per member, so chain forwarding
+    // walks the MQ in gseq order; an out-of-order peer distribution parks
+    // in the MQ until the hole fills (peer pull closes persistent holes).
+    if (chain_next_ < mq_.base()) chain_next_ = mq_.base();
+    while (const proto::DataMsg* next = mq_.find(chain_next_)) {
+      forward_chain(*next);
+      ++chain_next_;
+    }
+    return;
+  }
   for (NodeId ap : cfg_.own_aps) tr_.send_msg(ap, proto::Message(msg));
+}
+
+void BrRuntime::forward_chain(const proto::DataMsg& msg) {
+  // Genuine relay: only members whose memberships intersect the message's
+  // destination set get a copy, each stamped with its own chain link and
+  // addressed through the serving AP (relay target) instead of the legacy
+  // cell broadcast.
+  for (auto& [id, m] : members_) {
+    if (!m.groups.intersects(msg.groups)) continue;
+    proto::DataMsg copy = msg;
+    copy.prev_chain = m.fwd_tail;
+    m.fwd_tail = msg.gseq + 1;
+    m.fwd_log.push_back(FwdEntry{msg.gseq, copy.prev_chain});
+    // Backstop for a member that never acks (crashed mid-run): bound the
+    // log like the MQ so memory stays flat.
+    if (m.fwd_log.size() > cfg_.opts.mq_retention + kResendWindow) {
+      m.fwd_log.pop_front();
+    }
+    tr_.send_msg(m.ap, proto::Message(copy), NodeId{id});
+  }
 }
 
 void BrRuntime::handle_token(proto::OrderingToken token, NodeId from,
@@ -240,6 +301,12 @@ void BrRuntime::assign_staged(std::int64_t now_us) {
     m.gseq = token_.append_range(cfg_.self, m.source, m.lseq, m.lseq);
     m.ordering_node = cfg_.self;
     m.epoch = token_.epoch();
+    if (multi() && !m.groups.empty()) {
+      for (std::size_t i = 0; i < m.groups.size(); ++i) {
+        m.group_seqs[i] = token_.bump_group_seq(m.groups[i]);
+        group_seq_high_[m.groups[i].v] = m.group_seqs[i] + 1;
+      }
+    }
     ++assigned_;
     store_and_forward_ordered(m, now_us);
     for (NodeId peer : cfg_.ring) {
@@ -264,6 +331,12 @@ void BrRuntime::regenerate_token(std::int64_t now_us) {
   proto::OrderingToken t(kRuntimeGroup, epoch_);
   t.set_serial(next_serial_++);
   t.set_next_gseq(any_seen_ ? max_seen_gseq_ + 1 : 0);
+  // Per-group counters survive regeneration from the local high-watermarks
+  // (only counters this BR has witnessed; a peer's newer assignment bumps
+  // them again on the next pass, same as next_gseq).
+  for (const auto& [gid, next] : group_seq_high_) {
+    t.set_group_seq(GroupId{gid}, next);
+  }
   ++counters_.token_regenerated;
   last_rx_key_ = TokenKey{t.epoch(), t.serial(), t.rotation(), true};
   accept_token(std::move(t), now_us);
@@ -287,6 +360,10 @@ void BrRuntime::handle_member_ack(const proto::DeliveryAckMsg& ack,
   const auto it = members_.find(ack.member.v);
   if (it == members_.end()) return;
   Member& m = it->second;
+  if (multi()) {
+    handle_chain_ack(m, ack.member, ack.watermark, now_us);
+    return;
+  }
   m.next_expected = std::max(m.next_expected, ack.watermark);
   // Only a *stalled* member needs resync: kStallAckLimit consecutive acks
   // with no watermark progress while assignments it lacks exist. A merely
@@ -325,13 +402,85 @@ void BrRuntime::handle_member_ack(const proto::DeliveryAckMsg& ack,
       // to refill it before the member can make progress. One pull per
       // retx window for the whole BR — many stalled members share a hole.
       pull_requested = true;
-      last_pull_us_ = now_us;
-      for (NodeId peer : cfg_.ring) {
-        if (peer != cfg_.self) {
-          tr_.send_msg(peer, proto::Message(proto::DeliveryAckMsg{
-                                 kRuntimeGroup, cfg_.self, g}));
-        }
+      request_pull(g, now_us);
+    }
+  }
+}
+
+void BrRuntime::request_pull(GlobalSeq g, std::int64_t now_us) {
+  if (now_us - last_pull_us_ < cfg_.opts.retx_timeout_us) return;
+  last_pull_us_ = now_us;
+  for (NodeId peer : cfg_.ring) {
+    if (peer != cfg_.self) {
+      tr_.send_msg(peer, proto::Message(proto::DeliveryAckMsg{
+                             kRuntimeGroup, cfg_.self, g}));
+    }
+  }
+}
+
+void BrRuntime::handle_chain_ack(Member& m, NodeId member, GlobalSeq tail,
+                                 std::int64_t now_us) {
+  m.next_expected = std::max(m.next_expected, tail);
+  // Everything at or below the acked chain tail is delivered: prune.
+  while (!m.fwd_log.empty() &&
+         m.fwd_log.front().gseq + 1 <= m.next_expected) {
+    m.fwd_log.pop_front();
+  }
+  // The surviving head links to a predecessor the member can no longer
+  // receive (lost below the floor): rewrite the link so the member
+  // gap-skips straight to the survivor.
+  if (!m.fwd_log.empty() && m.fwd_log.front().prev > m.next_expected) {
+    m.fwd_log.front().prev = m.next_expected;
+    ++counters_.gaps_skipped;
+  }
+  // Stall detection, same discipline as the legacy path: only a member (or
+  // a BR-side chain cursor) making no progress across kStallAckLimit acks
+  // triggers recovery work.
+  const bool behind = !m.fwd_log.empty() ||
+                      (any_seen_ && chain_next_ <= max_seen_gseq_);
+  if (!behind || tail > m.prev_ack_wm) {
+    m.prev_ack_wm = std::max(m.prev_ack_wm, tail);
+    m.stalled_acks = 0;
+    return;
+  }
+  if (++m.stalled_acks < kStallAckLimit) return;
+  if (now_us - m.last_resend_us < cfg_.opts.retx_timeout_us) return;
+  m.stalled_acks = 0;
+  m.last_resend_us = now_us;
+  if (m.fwd_log.empty()) {
+    // The member is current; the BR itself is stuck on an MQ hole at the
+    // chain cursor (a lost peer distribution). Pull it from the ring.
+    request_pull(chain_next_, now_us);
+    return;
+  }
+  GlobalSeq served = 0;
+  for (auto it = m.fwd_log.begin();
+       it != m.fwd_log.end() && served < kResendWindow;) {
+    if (const proto::DataMsg* dm = mq_.find(it->gseq)) {
+      proto::DataMsg copy = *dm;
+      copy.prev_chain = it->prev;
+      tr_.send_msg(m.ap, proto::Message(copy), member);
+      ++counters_.retransmits;
+      ++served;
+      ++it;
+    } else if (it->gseq >= mq_.base()) {
+      // MQ hole inside the retained window: refill via peer pull and retry
+      // next window — resending past the hole would still honor the chain,
+      // but the member can't advance through it anyway.
+      request_pull(it->gseq, now_us);
+      break;
+    } else {
+      // Below the MQ floor: unrecoverable for this member. Splice the link
+      // out — the successor inherits it, or the chain head rolls back when
+      // the spliced entry was the newest one.
+      const FwdEntry dead = *it;
+      it = m.fwd_log.erase(it);
+      if (it != m.fwd_log.end()) {
+        it->prev = dead.prev;
+      } else if (m.fwd_tail == dead.gseq + 1) {
+        m.fwd_tail = dead.prev;
       }
+      ++counters_.really_lost;
     }
   }
 }
@@ -498,11 +647,27 @@ void MhRuntime::on_datagram(const Datagram& d, std::int64_t now_us) {
   switch (msg->type()) {
     case proto::MsgType::Data:
       if (msg->data().ordering_node.valid()) {
-        receive_ordered(msg->data(), now_us);
+        if (cfg_.groups.multi()) {
+          receive_chain(msg->data(), now_us);
+        } else {
+          receive_ordered(msg->data(), now_us);
+        }
       }
       break;
     case proto::MsgType::DeliveryAck: {
       const auto& ack = msg->ack();
+      if (cfg_.groups.multi()) {
+        // Chain mode repurposes the downlink ack as the uplink submit-ack
+        // (watermark = lseqs accepted by the BR); chain gaps are closed by
+        // the BR rewriting the head link, never by floor pushes.
+        if (ack.member == cfg_.self) {
+          while (!pending_.empty() &&
+                 pending_.front().msg.lseq < ack.watermark) {
+            pending_.pop_front();
+          }
+        }
+        break;
+      }
       if (ack.member == cfg_.self && ack.watermark > next_expected_) {
         gap_skip_to(ack.watermark, now_us);
       }
@@ -526,10 +691,35 @@ void MhRuntime::receive_ordered(const proto::DataMsg& msg,
   buf_.drop_below(next_expected_);
 }
 
+void MhRuntime::receive_chain(const proto::DataMsg& msg, std::int64_t now_us) {
+  // Chain delivery: each message names its predecessor's chain coordinate
+  // (gseq + 1 of the previous message the BR forwarded to this member), so
+  // the member delivers exactly the destined subsequence in gseq order with
+  // no contiguity assumption over the global sequence.
+  const GlobalSeq coord = msg.gseq + 1;
+  if (coord <= multi_tail_ || !held_.emplace(coord, msg).second) {
+    ++counters_.duplicates;
+    return;
+  }
+  while (!held_.empty() && held_.begin()->second.prev_chain <= multi_tail_) {
+    deliver(held_.begin()->second, now_us);
+    multi_tail_ = held_.begin()->first;
+    held_.erase(held_.begin());
+  }
+}
+
 void MhRuntime::deliver(const proto::DataMsg& msg, std::int64_t now_us) {
   log_.push_back(DeliveredRec{msg.gseq, msg.source, msg.lseq});
   ++delivered_;
   if (msg.source == cfg_.source_id) {
+    if (cfg_.groups.multi()) {
+      const auto it = submit_times_us_.find(msg.lseq);
+      if (it != submit_times_us_.end()) {
+        lat_us_.push_back(now_us - it->second);
+        submit_times_us_.erase(it);
+      }
+      return;
+    }
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (it->msg.lseq == msg.lseq) {
         lat_us_.push_back(now_us - it->submitted_us);
@@ -569,14 +759,20 @@ void MhRuntime::submit_one(std::int64_t now_us) {
   m.source = cfg_.source_id;
   m.lseq = next_lseq_++;
   m.payload_size = cfg_.payload_size;
+  if (cfg_.groups.multi()) {
+    m.groups = core::dest_groups(cfg_.source_id, m.lseq, cfg_.groups);
+    if (!m.groups.empty()) m.gid = m.groups[0];
+    submit_times_us_.emplace(m.lseq, now_us);
+  }
   pending_.push_back(PendingSubmit{m, now_us, now_us, 0});
   tr_.send_msg(cfg_.ap, proto::Message(m));
   next_submit_us_ += period_us_;
 }
 
 void MhRuntime::send_ack() {
+  const GlobalSeq wm = cfg_.groups.multi() ? multi_tail_ : next_expected_;
   tr_.send_msg(cfg_.ap, proto::Message(proto::DeliveryAckMsg{
-                            kRuntimeGroup, cfg_.self, next_expected_}));
+                            kRuntimeGroup, cfg_.self, wm}));
   ++counters_.acks_sent;
 }
 

@@ -42,6 +42,17 @@ const std::vector<CannedScenario>& catalogue() {
        "a majority detaches at once and floods back shortly after",
        "name=mass-exodus;churn=mass,mass_at=0.9,mass_frac=0.6,"
        "mass_rejoin=0.8;traffic=poisson,rate=150"},
+      {"group-mesh",
+       "static multi-group mesh: overlapping memberships, genuine relay",
+       "name=group-mesh;groups=8,per_mh=2,dest=2;traffic=poisson,rate=150"},
+      {"group-churn",
+       "members swap group memberships mid-run (chain resync per swap)",
+       "name=group-churn;groups=8,per_mh=2,dest=2,churn=0.5;"
+       "traffic=poisson,rate=150"},
+      {"group-flash",
+       "a rotating hot group draws boosted traffic every half second",
+       "name=group-flash;groups=8,per_mh=2,dest=1,boost=4,flash=0.5;"
+       "traffic=poisson,rate=60"},
   };
   return canned;
 }

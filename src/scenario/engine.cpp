@@ -92,6 +92,15 @@ void Engine::arm() {
   if (spec_.churn.leave_rate_hz > 0.0) {
     for (std::size_t i = 0; i < n_mh; ++i) schedule_leave(i);
   }
+  if (spec_.groups && proto_.multi_group()) {
+    if (spec_.groups->churn_rate_hz > 0.0) {
+      for (std::size_t i = 0; i < n_mh; ++i) schedule_group_churn(i);
+    }
+    if (spec_.groups->flash_boost > 1.0) {
+      sim_.after(at_least_period(spec_.groups->flash_interval),
+                 [this] { group_flash(); });
+    }
+  }
   if (spec_.churn.mass_leave_at > sim::SimTime::zero()) {
     sim_.after(spec_.churn.mass_leave_at, [this] { mass_leave(); });
   }
@@ -225,6 +234,55 @@ void Engine::mass_leave() {
       proto_.reattach_mh(mh_id(i), random_ap());
     }
   });
+}
+
+// ---------------------------------------------------------------------------
+// Group dynamics
+
+void Engine::schedule_group_churn(std::size_t mh) {
+  if (!running_) return;
+  const double dt =
+      rng_.exponential(std::max(spec_.groups->churn_rate_hz, 1e-9));
+  sim_.after(at_least_step(dt), [this, mh] { group_churn(mh); });
+}
+
+void Engine::group_churn(std::size_t mh) {
+  if (!running_) return;
+  const std::size_t count = proto_.config().groups.count;
+  const auto& mine = proto_.groups_of(mh_id(mh));
+  if (count > 1 && mine.size() > 0 && mine.size() < count) {
+    const GroupId old = mine[rng_.bounded(mine.size())];
+    // Rejection-sample a group the member is not already in; size < count
+    // guarantees one exists. Join before leave so membership never dips to
+    // empty (leave_group would refuse the last group anyway).
+    GroupId next{0};
+    for (int tries = 0; tries < 64; ++tries) {
+      const GroupId cand{static_cast<std::uint32_t>(rng_.bounded(count) + 1)};
+      if (!mine.contains(cand)) {
+        next = cand;
+        break;
+      }
+    }
+    if (next.v != 0) {
+      proto_.join_group(mh_id(mh), next);
+      proto_.leave_group(mh_id(mh), old);
+    }
+  }
+  schedule_group_churn(mh);
+}
+
+void Engine::group_flash() {
+  // The rotation respects stop() like every disruptive process, and its
+  // final act is to clear the boost so the drain phase runs at base rate.
+  if (!running_) {
+    proto_.set_group_rate_boost(GroupId{0}, 1.0);
+    return;
+  }
+  const std::size_t count = proto_.config().groups.count;
+  const GroupId hot{static_cast<std::uint32_t>(flash_cursor_++ % count + 1)};
+  proto_.set_group_rate_boost(hot, spec_.groups->flash_boost);
+  sim_.after(at_least_period(spec_.groups->flash_interval),
+             [this] { group_flash(); });
 }
 
 // ---------------------------------------------------------------------------

@@ -201,6 +201,39 @@ bool apply_traffic(const std::vector<std::string>& tokens,
   return true;
 }
 
+bool apply_groups(const std::vector<std::string>& tokens,
+                  const std::string& count, GroupSpec& out,
+                  std::string* error) {
+  // Two groups minimum: count=1 is the degenerate deployment, which is
+  // spelled by omitting the section entirely.
+  if (!parse_size(count, out.count) || out.count < 2) {
+    return fail(error, "bad group count '" + count + "'");
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string k, v;
+    if (!key_value(tokens[i], k, v)) {
+      return fail(error, "malformed groups token '" + tokens[i] + "'");
+    }
+    bool ok = false;
+    if (k == "per_mh") {
+      ok = parse_size(v, out.groups_per_mh) && out.groups_per_mh >= 1;
+    } else if (k == "dest") {
+      ok = parse_size(v, out.dest_groups) && out.dest_groups >= 1;
+    } else if (k == "churn") {
+      ok = parse_double(v, out.churn_rate_hz) && out.churn_rate_hz >= 0.0;
+    } else if (k == "boost") {
+      ok = parse_double(v, out.flash_boost) && out.flash_boost >= 1.0;
+    } else if (k == "flash") {
+      ok = parse_secs(v, out.flash_interval) &&
+           out.flash_interval > sim::SimTime::zero();
+    } else {
+      return fail(error, "unknown groups key '" + k + "'");
+    }
+    if (!ok) return fail(error, "bad groups value '" + tokens[i] + "'");
+  }
+  return true;
+}
+
 bool apply_fault(const std::vector<std::string>& tokens,
                  const std::string& kind, std::vector<FaultEvent>& out,
                  std::string* error) {
@@ -262,6 +295,10 @@ std::optional<ScenarioSpec> parse_scenario(const std::string& text,
     } else if (key == "traffic") {
       spec.has_traffic = true;
       ok = apply_traffic(tokens, value, spec.traffic, error);
+    } else if (key == "groups") {
+      GroupSpec g;
+      ok = apply_groups(tokens, value, g, error);
+      if (ok) spec.groups = g;
     } else if (key == "fault") {
       ok = apply_fault(tokens, value, spec.faults, error);
     } else if (key == "mq_retention") {
@@ -329,6 +366,16 @@ std::string describe_scenario(const ScenarioSpec& spec) {
         break;
     }
     if (t.sender_skew > 0.0) os << ",skew=" << fmt(t.sender_skew);
+  }
+  if (spec.groups) {
+    const GroupSpec& g = *spec.groups;
+    os << ";groups=" << g.count << ",per_mh=" << g.groups_per_mh
+       << ",dest=" << g.dest_groups;
+    if (g.churn_rate_hz > 0.0) os << ",churn=" << fmt(g.churn_rate_hz);
+    if (g.flash_boost > 1.0) {
+      os << ",boost=" << fmt(g.flash_boost)
+         << ",flash=" << fmt(g.flash_interval);
+    }
   }
   for (const FaultEvent& ev : spec.faults) {
     switch (ev.kind) {

@@ -1,0 +1,79 @@
+// The shared bench CLI helpers (bench/bench_util.hpp): scenario resolution
+// through the one hoisted path every bench now uses, and the spec overrides
+// apply_cli layers on a sweep point. Exit-on-error paths (usage_and_exit,
+// the --scenario failure inside apply_cli) are covered by resolving first,
+// the way the benches do.
+
+#include "../bench/bench_util.hpp"
+#include "ringnet_test.hpp"
+#include "scenario/catalogue.hpp"
+
+using namespace ringnet;
+
+TEST(resolve_scenario_accepts_canned_names) {
+  const auto parsed = bench::resolve_scenario("waypoint-roam");
+  CHECK(parsed.has_value());
+  if (parsed) CHECK_EQ(parsed->name, std::string("waypoint-roam"));
+}
+
+TEST(resolve_scenario_accepts_adhoc_text) {
+  const auto parsed = bench::resolve_scenario(
+      "name=adhoc;groups=8,per_mh=2,dest=2;traffic=poisson,rate=100");
+  CHECK(parsed.has_value());
+  if (!parsed) return;
+  CHECK_EQ(parsed->name, std::string("adhoc"));
+  CHECK(parsed->groups.has_value());
+  CHECK_EQ(parsed->groups->count, std::size_t{8});
+  CHECK_EQ(parsed->groups->groups_per_mh, std::size_t{2});
+  CHECK_EQ(parsed->groups->dest_groups, std::size_t{2});
+}
+
+TEST(resolve_scenario_rejects_unknown) {
+  CHECK(!bench::resolve_scenario("no-such-scenario").has_value());
+  CHECK(!bench::resolve_scenario("mobility=warp,rate=2").has_value());
+}
+
+TEST(every_catalogue_entry_resolves) {
+  // The canned entries (including the multi-group ones) must always pass
+  // through the shared resolver: the benches iterate the catalogue with it.
+  bool saw_group_mesh = false;
+  for (const auto& c : scenario::catalogue()) {
+    const auto by_name = bench::resolve_scenario(c.name);
+    const auto by_text = bench::resolve_scenario(c.text);
+    CHECK(by_name.has_value());
+    CHECK(by_text.has_value());
+    if (by_name && by_text) CHECK_EQ(by_name->name, by_text->name);
+    saw_group_mesh |= c.name == "group-mesh";
+  }
+  CHECK(saw_group_mesh);
+}
+
+TEST(apply_cli_layers_overrides) {
+  bench::Options opts;
+  opts.seed = 99;
+  opts.smoke = true;
+  opts.shard_threads = 3;
+  baseline::RunSpec spec;
+  bench::apply_cli(opts, spec);
+  CHECK_EQ(spec.seed, std::uint64_t{99});
+  CHECK(spec.shard);
+  CHECK_EQ(spec.shard_threads, std::size_t{3});
+  // The smoke preset still covers the latest canned fault time (1.5s).
+  CHECK(spec.warmup == sim::secs(0.2));
+  CHECK(spec.run == sim::secs(1.6));
+  CHECK(spec.drain == sim::secs(0.75));
+  // --run wins over the smoke preset's window.
+  opts.run_secs = 3.5;
+  bench::apply_cli(opts, spec);
+  CHECK(spec.run == sim::secs(3.5));
+  // A resolvable --scenario lands in the spec.
+  opts.scenario = "group-flash";
+  bench::apply_cli(opts, spec);
+  CHECK(spec.scenario.has_value());
+  if (spec.scenario) {
+    CHECK_EQ(spec.scenario->name, std::string("group-flash"));
+    CHECK(spec.scenario->groups.has_value());
+  }
+}
+
+TEST_MAIN()

@@ -165,4 +165,166 @@ TEST(wire_primitives) {
   CHECK(!r.u8().has_value());
 }
 
+namespace {
+
+proto::DataMsg sample_grouped(std::initializer_list<std::uint32_t> gids) {
+  proto::DataMsg m = sample_data();
+  std::size_t i = 0;
+  for (const std::uint32_t g : gids) {
+    m.groups.insert(GroupId{g});
+    m.group_seqs[i++] = 1000 + g;
+  }
+  m.prev_chain = 777;
+  return m;
+}
+
+}  // namespace
+
+TEST(group_set_round_trip) {
+  const proto::DataMsg ref = sample_grouped({1, 3, 9});
+  const auto bytes = proto::encode(proto::Message(ref));
+  const auto decoded = proto::decode(bytes);
+  CHECK(decoded.has_value());
+  const auto& d = decoded->data();
+  CHECK_EQ(d.groups.size(), std::size_t{3});
+  for (std::size_t i = 0; i < d.groups.size(); ++i) {
+    CHECK_EQ(d.groups[i].v, ref.groups[i].v);
+    CHECK_EQ(d.group_seqs[i], ref.group_seqs[i]);
+  }
+  CHECK_EQ(d.prev_chain, ref.prev_chain);
+  CHECK_EQ(d.gseq, ref.gseq);
+  // wire_size agrees on the extended layout too (payload rides outside).
+  proto::DataMsg sized = ref;
+  sized.payload_size = 0;
+  CHECK_EQ(proto::wire_size(proto::Message(sized)),
+           proto::encode(proto::Message(sized)).size());
+}
+
+TEST(group_set_singleton_and_full) {
+  for (const auto& gids : {std::vector<std::uint32_t>{5},
+                           std::vector<std::uint32_t>{2, 4, 6, 8}}) {
+    proto::DataMsg ref = sample_data();
+    std::size_t i = 0;
+    for (const std::uint32_t g : gids) {
+      ref.groups.insert(GroupId{g});
+      ref.group_seqs[i++] = 50 + g;
+    }
+    ref.prev_chain = 42;
+    const auto decoded = proto::decode(proto::encode(proto::Message(ref)));
+    CHECK(decoded.has_value());
+    const auto& d = decoded->data();
+    CHECK_EQ(d.groups.size(), gids.size());
+    for (std::size_t j = 0; j < gids.size(); ++j) {
+      CHECK_EQ(d.groups[j].v, gids[j]);
+      CHECK_EQ(d.group_seqs[j], std::uint64_t{50} + gids[j]);
+    }
+    CHECK_EQ(d.prev_chain, std::uint64_t{42});
+  }
+}
+
+TEST(group_set_empty_is_legacy_layout) {
+  // An empty destination set must encode byte-identically to the pre-group
+  // wire layout: single-group deployments stay interoperable with old
+  // frames, and the fixed 41-byte Data descriptor is load-bearing for that.
+  const auto legacy = proto::encode(proto::Message(sample_data()));
+  CHECK_EQ(legacy.size(), std::size_t{41});
+  proto::DataMsg cleared = sample_grouped({1, 3});
+  cleared.groups.clear();
+  cleared.group_seqs = {};
+  cleared.prev_chain = 0;
+  CHECK(proto::encode(proto::Message(cleared)) == legacy);
+  const auto decoded = proto::decode(legacy);
+  CHECK(decoded.has_value());
+  CHECK(decoded->data().groups.empty());
+  CHECK_EQ(decoded->data().prev_chain, std::uint64_t{0});
+}
+
+TEST(group_set_malformed_rejected) {
+  const auto bytes = proto::encode(proto::Message(sample_grouped({1, 3, 9})));
+  // Truncation at every prefix of the extended frame fails cleanly — except
+  // the one intentional boundary: cutting the whole group section leaves a
+  // well-formed legacy frame (the section is optional by design).
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + cut);
+    const auto decoded = proto::decode(prefix);
+    if (cut == 41) {
+      CHECK(decoded.has_value());
+      if (decoded) CHECK(decoded->data().groups.empty());
+      continue;
+    }
+    CHECK(!decoded.has_value());
+  }
+  // Trailing garbage after the chain link is rejected.
+  auto padded = bytes;
+  padded.push_back(0x00);
+  CHECK(!proto::decode(padded).has_value());
+
+  // The group section starts right after the 41-byte Data descriptor:
+  // count byte at 41, first little-endian u32 gid at 42.
+  const std::size_t kCount = 41;
+  const std::size_t kFirstGid = 42;
+  // Zero or oversized counts are invalid (present sections carry 1..4).
+  auto zero_count = bytes;
+  zero_count[kCount] = 0;
+  CHECK(!proto::decode(zero_count).has_value());
+  auto big_count = bytes;
+  big_count[kCount] = 5;
+  CHECK(!proto::decode(big_count).has_value());
+  // Gids must be strictly increasing (canonical GroupSet order): raise the
+  // first gid to equal, then exceed, the second.
+  for (const std::uint8_t first : {std::uint8_t{3}, std::uint8_t{4}}) {
+    auto unsorted = bytes;
+    unsorted[kFirstGid] = first;
+    CHECK(!proto::decode(unsorted).has_value());
+  }
+}
+
+TEST(group_set_fuzz_mutation_safe) {
+  const auto bytes = proto::encode(proto::Message(sample_grouped({2, 7, 11})));
+  // Single-byte mutations anywhere in the frame must never crash the
+  // decoder, and anything that still decodes must be structurally sane.
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (const std::uint8_t mask : {0x01, 0x80, 0xFF}) {
+      auto mutated = bytes;
+      mutated[pos] = static_cast<std::uint8_t>(mutated[pos] ^ mask);
+      const auto decoded = proto::decode(mutated);
+      if (!decoded.has_value()) continue;
+      if (decoded->type() != proto::MsgType::Data) continue;
+      const auto& d = decoded->data();
+      CHECK(d.groups.size() <= proto::kMaxDataGroups);
+      for (std::size_t i = 1; i < d.groups.size(); ++i) {
+        CHECK(d.groups[i - 1].v < d.groups[i].v);
+      }
+    }
+  }
+}
+
+TEST(token_group_counters_round_trip) {
+  proto::OrderingToken t(GroupId{1}, 3);
+  t.append_range(NodeId::make(Tier::BR, 0), NodeId{9}, 0, 4);
+  t.set_group_seq(GroupId{5}, 42);
+  t.set_group_seq(GroupId{2}, 10);
+  CHECK_EQ(t.bump_group_seq(GroupId{2}), std::uint64_t{10});
+  CHECK_EQ(t.group_seq(GroupId{2}), std::uint64_t{11});
+  const auto bytes = proto::encode(proto::Message(t));
+  CHECK_EQ(proto::wire_size(proto::Message(t)), bytes.size());
+  const auto decoded = proto::decode(bytes);
+  CHECK(decoded.has_value());
+  CHECK(decoded->type() == proto::MsgType::Token);
+  const auto& rt = decoded->token();
+  CHECK_EQ(rt.group_counters().size(), std::size_t{2});
+  CHECK_EQ(rt.group_seq(GroupId{2}), std::uint64_t{11});
+  CHECK_EQ(rt.group_seq(GroupId{5}), std::uint64_t{42});
+  CHECK_EQ(rt.group_seq(GroupId{99}), std::uint64_t{0});
+  // The zero-copy view reads the same counter section in place.
+  const auto view = proto::TokenView::parse(bytes.data() + 1, bytes.size() - 1);
+  CHECK(view.has_value());
+  CHECK_EQ(view->group_counter_count(), std::size_t{2});
+  CHECK_EQ(view->group_counter(0).first.v, std::uint32_t{2});
+  CHECK_EQ(view->group_counter(0).second, std::uint64_t{11});
+  CHECK_EQ(view->group_counter(1).first.v, std::uint32_t{5});
+  CHECK_EQ(view->group_counter(1).second, std::uint64_t{42});
+}
+
 TEST_MAIN()

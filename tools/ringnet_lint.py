@@ -46,6 +46,13 @@ RN006 raw-wall-clock
     event-driven clock is what makes runs replayable); real time enters
     only through util::WallClock and the socket runtime that owns it.
 
+RN007 hardcoded-group
+    No hardcoded non-zero `GroupId{N}` literal in core/ or runtime/ code
+    unless it carries an `// RN007-ok:` rationale within the three lines
+    above it (or on the line itself). Ordering state is per-group now;
+    a baked-in group id is the single-group assumption sneaking back.
+    The zero sentinel (`GroupId{0}` == unset) stays allowed.
+
 Self-test
 ---------
 `--self-test` seeds one violation per rule in a scratch tree and fails
@@ -213,6 +220,35 @@ def check_raw_wall_clock(root):
 
 
 # --------------------------------------------------------------------------
+# RN007: hardcoded non-zero GroupId literal in core/ or runtime/
+
+# Both forms of baking a group in: the inline literal (`GroupId{3}`) and a
+# named constant initialized from one (`constexpr GroupId kFoo{3}`).
+HARDCODED_GROUP_RE = re.compile(r"\bGroupId\s*(?:\w+\s*)?\{\s*0*[1-9]")
+RN007_OK_RE = re.compile(r"//\s*RN007-ok")
+
+
+def check_hardcoded_group(root):
+    findings = []
+    for path in repo_files(root, ("include/core", "src/core",
+                                  "include/runtime", "src/runtime")):
+        lines = open(path, encoding="utf-8").read().splitlines()
+        for i, text in enumerate(lines, 1):
+            if not HARDCODED_GROUP_RE.search(text):
+                continue
+            window = lines[max(0, i - 4):i]  # the line + three above
+            if any(RN007_OK_RE.search(w) for w in window):
+                continue
+            findings.append(Finding(
+                "RN007", rel(root, path), i,
+                "hardcoded non-zero GroupId literal in core/runtime code; "
+                "ordering state is per-group — take the gid from the "
+                "message/config, or justify with an '// RN007-ok:' "
+                "rationale"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # RN005: header self-containment
 
 def check_header_self_containment(root, cxx):
@@ -250,6 +286,7 @@ def run_checks(root, cxx, with_headers=True):
     findings += check_raw_rng(root)
     findings += check_stdout_in_library(root)
     findings += check_raw_wall_clock(root)
+    findings += check_hardcoded_group(root)
     if with_headers:
         findings += check_header_self_containment(root, cxx)
     return findings
@@ -320,9 +357,19 @@ def self_test(cxx):
               "#include <thread>\nvoid f() { std::this_thread::sleep_for("
               "std::chrono::microseconds(5)); }\n")
 
+        # RN007: hardcoded group id indexing ordering state; the annotated
+        # constant and the zero "unset" sentinel must NOT fire.
+        write("src/runtime/bad_group.cpp",
+              "void f(S& s) { s.slab(GroupId{1}).push(7); }\n")
+        write("src/core/good_group.cpp",
+              "// RN007-ok: degenerate single-group deployment.\n"
+              "constexpr GroupId kG{1};\n"
+              "void g(M& m) { m.gid = GroupId{0}; }\n")
+
         findings = run_checks(tmp, cxx)
         fired = {f.rule for f in findings}
-        for rule in ("RN001", "RN002", "RN003", "RN004", "RN005", "RN006"):
+        for rule in ("RN001", "RN002", "RN003", "RN004", "RN005", "RN006",
+                     "RN007"):
             if rule not in fired:
                 failures.append(f"{rule} did not fire on its seeded "
                                 "violation")
@@ -334,7 +381,8 @@ def self_test(cxx):
                             ("RN004", "ok_snprintf.cpp"),
                             ("RN006", "ok_clock.cpp"),
                             ("RN006", "clock.hpp"),
-                            ("RN006", "ok_wait.cpp")):
+                            ("RN006", "ok_wait.cpp"),
+                            ("RN007", "good_group.cpp")):
             if (rule, fname) in by_file:
                 failures.append(f"{rule} false-positive on {fname}")
     if failures:
