@@ -21,6 +21,7 @@
 // global context. The same code runs identically on the single-heap oracle
 // and the sharded engine — that is the equivalence the tests assert.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -448,8 +449,11 @@ class RingNetProtocol {
     // rides the frame; legacy messages carry no section, so this reduces
     // to data_bytes() byte-for-byte in the single-group deployment.
     if (m.groups.empty()) return data_bytes();
+    // Clamped like the codec's encode_body, so the modeled frame size
+    // matches what would actually go on the wire.
     return data_bytes() +
-           static_cast<std::uint32_t>(1 + 12 * m.groups.size() + 8);
+           static_cast<std::uint32_t>(
+               1 + 12 * std::min(m.groups.size(), proto::kMaxDataGroups) + 8);
   }
 
   sim::Simulation& sim_;

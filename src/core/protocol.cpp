@@ -664,7 +664,16 @@ void RingNetProtocol::mh_receive_multi(MhNode& m, const proto::DataMsg& msg) {
   // held frame while its link is satisfied replays the chain in order.
   const GlobalSeq coord = msg.gseq + 1;
   if (coord <= m.multi_tail_) return;  // duplicate (already delivered)
-  if (!m.multi_held_.emplace(coord, msg).second) return;  // duplicate
+  const auto [held, inserted] = m.multi_held_.emplace(coord, msg);
+  if (!inserted) {
+    // Same coordinate already held. A resend after the BR spliced an
+    // unrecoverable predecessor out of the chain carries a repaired
+    // (lower) link; keeping the stale held link would wait forever on a
+    // frame that can no longer arrive. Merge the lower link and re-drain;
+    // a byte-identical duplicate merges to a no-op and drains nothing.
+    if (msg.prev_chain >= held->second.prev_chain) return;  // duplicate
+    held->second.prev_chain = msg.prev_chain;
+  }
   while (!m.multi_held_.empty()) {
     auto it = m.multi_held_.begin();
     if (it->second.prev_chain > m.multi_tail_) break;  // link missing
@@ -883,9 +892,16 @@ void RingNetProtocol::br_receive_ack_multi(NodeId br, NodeId mh,
     }
     if (!stored) {
       // Payload unrecoverable: splice this frame out of the member's chain.
-      const GlobalSeq prev = it->prev;
+      // The successor inherits the link — or, when the spliced entry was
+      // the newest forward, the chain head rolls back so the next forward
+      // is not chained behind a coordinate the member will never settle.
+      const FwdEntry dead = *it;
       it = log.erase(it);
-      if (it != log.end()) it->prev = prev;
+      if (it != log.end()) {
+        it->prev = dead.prev;
+      } else if (member_fwd_tail_[mh.index()] == dead.gseq + 1) {
+        member_fwd_tail_[mh.index()] = dead.prev;
+      }
       sim_.metrics().incr(mid_.gap_skipped_msgs);
       continue;
     }

@@ -455,8 +455,10 @@ std::size_t wire_size(const Message& msg) {
     void operator()(const DataMsg& m) const {
       body = 40 + m.payload_size;
       if (!m.groups.empty()) {
-        // u8 count + u32 gids + u64 seqs + u64 chain link.
-        body += 1 + m.groups.size() * 12 + 8;
+        // u8 count + u32 gids + u64 seqs + u64 chain link. Clamped like
+        // encode_body so the computed size matches the actual encoding
+        // even for an oversized (non-canonical) destination set.
+        body += 1 + std::min(m.groups.size(), kMaxDataGroups) * 12 + 8;
       }
     }
     void operator()(const OrderingToken& m) const {

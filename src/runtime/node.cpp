@@ -1,6 +1,7 @@
 #include "runtime/node.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "core/groups.hpp"
@@ -12,6 +13,10 @@ namespace {
 /// member can trigger while still closing multi-message gaps quickly.
 constexpr GlobalSeq kResendWindow = 64;
 constexpr std::size_t kUplinkPendingCap = 4096;
+/// Chain-mode hold queue bound (frames waiting on a predecessor link).
+/// Without it a member wedged behind a lost frame accretes every later
+/// forward over real UDP; shed frames come back via ack-driven resends.
+constexpr std::size_t kHeldChainCap = 4096;
 // Consecutive no-progress acks before a member counts as stalled. One
 // stalled ack is routinely just pipeline lag (deliveries in flight through
 // the AP); resyncing on it floods the cell with duplicates, and the storm
@@ -697,14 +702,33 @@ void MhRuntime::receive_chain(const proto::DataMsg& msg, std::int64_t now_us) {
   // the member delivers exactly the destined subsequence in gseq order with
   // no contiguity assumption over the global sequence.
   const GlobalSeq coord = msg.gseq + 1;
-  if (coord <= multi_tail_ || !held_.emplace(coord, msg).second) {
+  if (coord <= multi_tail_) {
     ++counters_.duplicates;
     return;
+  }
+  const auto [held, inserted] = held_.emplace(coord, msg);
+  if (!inserted) {
+    // A resend after the BR spliced an unrecoverable predecessor out of
+    // the chain (handle_chain_ack) carries a repaired (lower) link; keep
+    // the stale held link and the member waits forever on a frame that
+    // can no longer arrive. Merge the lower link and re-drain.
+    if (msg.prev_chain >= held->second.prev_chain) {
+      ++counters_.duplicates;
+      return;
+    }
+    held->second.prev_chain = msg.prev_chain;
   }
   while (!held_.empty() && held_.begin()->second.prev_chain <= multi_tail_) {
     deliver(held_.begin()->second, now_us);
     multi_tail_ = held_.begin()->first;
     held_.erase(held_.begin());
+  }
+  while (held_.size() > kHeldChainCap) {
+    // Bound hold-queue memory against a wedged chain over real UDP: shed
+    // the farthest-future frame — the BR's ack-driven resend replays it
+    // once the member's tail catches up.
+    held_.erase(std::prev(held_.end()));
+    ++counters_.duplicates;
   }
 }
 

@@ -149,6 +149,27 @@ TEST(wire_size_matches_encode) {
            proto::encode(proto::Message(t)).size());
 }
 
+TEST(wire_size_clamps_like_encode_on_oversized_group_sets) {
+  // encode_body clamps the trailing section to kMaxDataGroups; wire_size
+  // must apply the same clamp or a non-canonical DataMsg (a GroupSet wider
+  // than the wire can name) would make the modeled frame size disagree
+  // with the bytes actually emitted.
+  proto::DataMsg m = sample_data();
+  m.payload_size = 0;
+  for (std::uint32_t g = 1; g <= 6; ++g) m.groups.insert(GroupId{g});
+  for (std::size_t i = 0; i < proto::kMaxDataGroups; ++i) {
+    m.group_seqs[i] = 100 + i;
+  }
+  m.prev_chain = 9;
+  CHECK(m.groups.size() > proto::kMaxDataGroups);
+  CHECK_EQ(proto::wire_size(proto::Message(m)),
+           proto::encode(proto::Message(m)).size());
+  // The emitted frame still decodes (to the clamped canonical prefix).
+  const auto decoded = proto::decode(proto::encode(proto::Message(m)));
+  CHECK(decoded.has_value());
+  CHECK_EQ(decoded->data().groups.size(), proto::kMaxDataGroups);
+}
+
 TEST(wire_primitives) {
   proto::WireWriter w;
   w.u8(0x12);

@@ -56,6 +56,28 @@ Datagram proto_datagram(const proto::Message& msg) {
   return d;
 }
 
+proto::DataMsg chain_data(GlobalSeq gseq, GlobalSeq prev, NodeId source,
+                          LocalSeq lseq) {
+  proto::DataMsg m = ordered_data(gseq, source, lseq);
+  m.groups.insert(GroupId{1});
+  m.group_seqs[0] = lseq;
+  m.prev_chain = prev;
+  return m;
+}
+
+MhConfig chain_cfg(NodeId self) {
+  MhConfig cfg;
+  cfg.self = self;
+  cfg.source_id = NodeId{2};
+  cfg.ap = NodeId::make(Tier::AP, 0);
+  cfg.ss = NodeId{0x00FFFFFEu};
+  cfg.msgs_to_send = 0;
+  cfg.groups.count = 4;
+  cfg.groups.groups_per_mh = 1;
+  cfg.groups.dest_groups = 1;
+  return cfg;
+}
+
 }  // namespace
 
 // --- full deployment over InProc + NodeLoop --------------------------------
@@ -203,6 +225,75 @@ TEST(mh_gap_skip_counts_really_lost) {
   CHECK_EQ(mh.counters().gaps_skipped, 1u);
   const auto& log = mh.deliveries();
   CHECK_EQ(log.back().gseq, 3u);
+}
+
+TEST(mh_chain_merges_repaired_link_on_resend) {
+  // Chain-splice regression: when the BR finds a predecessor unrecoverable
+  // it splices it out and resends the successor with a rewritten (lower)
+  // prev_chain. The member already holds that successor from the original
+  // transmission — dropping the resend as a duplicate would wedge the
+  // chain forever.
+  InProcNet net;
+  auto mh_id = NodeId::make(Tier::MH, 2);
+  auto tr = net.attach(mh_id);
+  (void)net.attach(NodeId::make(Tier::AP, 0));
+  MhRuntime mh(chain_cfg(mh_id), *tr);
+  mh.on_start(0);
+
+  const auto src = NodeId{3};
+  // gseq 5 chained behind coordinate 3: its predecessor (gseq 2) was lost
+  // on the downlink, so the frame is held undeliverable.
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(5, 3, src, 1))), 10);
+  CHECK_EQ(mh.delivered_count(), 0u);
+  // A byte-identical duplicate is dropped and changes nothing.
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(5, 3, src, 1))), 20);
+  CHECK_EQ(mh.delivered_count(), 0u);
+  CHECK_EQ(mh.counters().duplicates, 1u);
+  // The splice resend carries the repaired link: the held copy must adopt
+  // the lower link and drain.
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(5, 0, src, 1))), 30);
+  CHECK_EQ(mh.delivered_count(), 1u);
+  CHECK_EQ(mh.deliveries().back().gseq, 5u);
+  // The chain continues from the new tail (coordinate 6).
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(9, 6, src, 2))), 40);
+  CHECK_EQ(mh.delivered_count(), 2u);
+  // A stale resend of the settled coordinate stays a plain duplicate.
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(5, 3, src, 1))), 50);
+  CHECK_EQ(mh.delivered_count(), 2u);
+  CHECK_EQ(mh.counters().duplicates, 2u);
+}
+
+TEST(mh_chain_hold_queue_is_bounded) {
+  // A member wedged behind a missing head must not accrete unbounded held
+  // frames: past the cap the farthest-future frame is shed (the BR's
+  // ack-driven resend replays it once the tail catches up).
+  InProcNet net;
+  auto mh_id = NodeId::make(Tier::MH, 3);
+  auto tr = net.attach(mh_id);
+  (void)net.attach(NodeId::make(Tier::AP, 0));
+  MhRuntime mh(chain_cfg(mh_id), *tr);
+  mh.on_start(0);
+
+  const auto src = NodeId{3};
+  // gseq 1 (coordinate 2) never arrives; 4096 successors pile up held,
+  // each linked to its immediate predecessor's coordinate.
+  const GlobalSeq cap = 4096;
+  for (GlobalSeq g = 2; g < 2 + cap; ++g) {
+    mh.on_datagram(proto_datagram(proto::Message(chain_data(g, g, src, g))),
+                   10);
+  }
+  CHECK_EQ(mh.delivered_count(), 0u);
+  CHECK_EQ(mh.counters().duplicates, 0u);
+  // One past the cap: shed instead of held.
+  const GlobalSeq over = 2 + cap;
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(over, over, src,
+                                                          over))), 20);
+  CHECK_EQ(mh.counters().duplicates, 1u);
+  // The missing head arrives: everything held drains in chain order; only
+  // the shed frame is absent (a later resend would replay it).
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(1, 0, src, 1))), 30);
+  CHECK_EQ(mh.delivered_count(), cap + 1);
+  CHECK_EQ(mh.deliveries().back().gseq, 2 + cap - 1);
 }
 
 TEST_MAIN()
