@@ -28,7 +28,7 @@ using ringnet::runtime::LoopbackSpec;
 
 [[noreturn]] void usage_and_exit(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--smoke] [--brs N] [--aps-per-br N] "
+               "usage: %s [--smoke] [--spans] [--brs N] [--aps-per-br N] "
                "[--mhs-per-ap N] [--msgs N] [--rate HZ] [--seed N] "
                "[--time-scale F] [--groups N] [--per-mh N] [--dest N]\n",
                prog);
@@ -82,6 +82,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--spans") {
+      spec.opts.record_spans = true;
     } else if (arg == "--brs") {
       spec.num_brs = num(value());
     } else if (arg == "--aps-per-br") {
@@ -156,6 +158,9 @@ int main(int argc, char** argv) {
   oracle.drain = ringnet::sim::secs(2.0);
   oracle.seed = seed;
   oracle.export_deliveries = true;
+  // Same --spans switch on the oracle, so both runs decompose delivery
+  // latency into the identical submit/assign/relay/deliver stages.
+  oracle.config.record_spans = eff.opts.record_spans;
   RunResult sim = ringnet::baseline::run_experiment(oracle);
 
   int failures = 0;
@@ -245,6 +250,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rt.counters.duplicates),
               static_cast<unsigned long long>(rt.counters.acks_sent),
               static_cast<unsigned long long>(rt.counters.floor_advances));
+
+  if (eff.opts.record_spans) {
+    // Side-by-side per-stage lifecycle breakdown: real UDP wall time vs.
+    // the simulator's modelled time for the same scenario. Stages must
+    // match (same names, same count rows); absolute magnitudes differ
+    // because loopback wall time includes scheduling noise.
+    std::printf("\n%s", rt.spans.table("runtime spans (udp loopback, wall us)")
+                            .c_str());
+    std::printf("\n%s",
+                sim.spans.table("oracle spans (simulated us)").c_str());
+    gate(!rt.spans.empty(), "runtime: span breakdown captured deliveries");
+    gate(!sim.spans.empty(), "oracle: span breakdown captured deliveries");
+  }
 
   std::printf("\nloopback soak: %s\n", failures == 0 ? "PASS" : "FAIL");
   return failures == 0 ? 0 : 1;

@@ -100,6 +100,19 @@ int main(int argc, char** argv) {
         .cell(r.order_violation.has_value() ? "NO" : "yes");
   }
   table.print(std::cout);
+  if (opts.spans) {
+    // Per-stage lifecycle breakdown for the ordered variant of each
+    // scenario (the unordered variant skips the assignment pass, so its
+    // breakdown degenerates and is omitted).
+    std::printf("\n");
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].variant != baseline::Variant::RingNet) continue;
+      if (results[i].spans.empty()) continue;
+      const auto& name = entries[i / std::size(variants)].first;
+      std::printf("%s\n",
+                  results[i].spans.table("spans / " + name + " (us)").c_str());
+    }
+  }
   std::printf(
       "\nExpected shape: 'order ok' everywhere (the engine can delay and\n"
       "drop, never reorder). Mobility scenarios show handoffs, churn\n"

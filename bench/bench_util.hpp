@@ -45,6 +45,8 @@ inline void print_header(const std::string& title, const std::string& claim) {
 ///   --shard N      run every sweep point on the domain-sharded parallel
 ///                  engine with N worker threads (N=0: single-heap oracle
 ///                  over the same domain plan)
+///   --spans        record message-lifecycle spans on every sweep point
+///                  (benches that support it print the per-stage breakdown)
 ///   --list         print the canned scenario catalogue and exit
 struct Options {
   std::optional<std::uint64_t> seed;
@@ -52,12 +54,13 @@ struct Options {
   std::optional<std::string> scenario;
   std::optional<std::size_t> shard_threads;
   bool smoke = false;
+  bool spans = false;
 };
 
 [[noreturn]] inline void usage_and_exit(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--run SECONDS] [--scenario NAME|TEXT] "
-               "[--shard THREADS] [--smoke] [--list]\n",
+               "[--shard THREADS] [--smoke] [--spans] [--list]\n",
                prog);
   std::exit(2);
 }
@@ -96,6 +99,8 @@ inline Options parse_cli(int argc, char** argv) {
       }
     } else if (arg == "--smoke") {
       opts.smoke = true;
+    } else if (arg == "--spans") {
+      opts.spans = true;
     } else if (arg == "--list") {
       for (const auto& c : scenario::catalogue()) {
         std::printf("%-14s %s\n    %s\n", c.name.c_str(), c.summary.c_str(),
@@ -143,6 +148,7 @@ inline void apply_cli(const Options& opts, baseline::RunSpec& spec) {
     spec.drain = sim::secs(0.75);
   }
   if (opts.run_secs) spec.run = sim::secs(*opts.run_secs);
+  if (opts.spans) spec.config.record_spans = true;
   if (opts.scenario) {
     auto parsed = resolve_scenario(*opts.scenario);
     if (!parsed) std::exit(2);

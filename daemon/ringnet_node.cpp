@@ -9,15 +9,26 @@
 // The supervisor exits once every MH reports Done (broadcasting Stop on
 // the way out); MHs exit when they see Stop; BRs and APs serve until Stop
 // arrives or SIGINT. Exit status 0 = clean shutdown.
+//
+// Live introspection: SIGUSR1 makes the node spill its flight recorder —
+// the bounded ring of recent protocol events — to stderr as one JSON line;
+// the same dump fires automatically on token-regeneration watchdog expiry,
+// a dropped token, or a delivery-order violation. A periodic one-line
+// stats frame (--stats-period, default 5s, 0 = off) reports the node's
+// metric counters and, on MHs, delivery-latency quantiles.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/event_loop.hpp"
 #include "runtime/node.hpp"
 #include "runtime/udp_transport.hpp"
@@ -30,6 +41,8 @@ using namespace ringnet::runtime;
 
 volatile std::sig_atomic_t g_interrupted = 0;
 void on_sigint(int) { g_interrupted = 1; }
+volatile std::sig_atomic_t g_dump_requested = 0;
+void on_sigusr1(int) { g_dump_requested = 1; }
 
 constexpr NodeId kSupervisorId{0x00FFFFFEu};
 
@@ -46,14 +59,46 @@ struct Cli {
   double time_scale = 1.0;
   std::int64_t tick_us = 1000;
   double duration_secs = 0.0;  // br/ap fallback exit; 0 = until Stop/SIGINT
+  double stats_period_secs = 5.0;  // one-line stats frame cadence; 0 = off
 };
+
+/// One line of live counters (plus MH latency quantiles), sorted by name
+/// so frames diff cleanly across captures.
+std::string stats_frame(const std::string& node, const obs::Metrics& metrics,
+                        const MhRuntime* mh, std::int64_t t_us) {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  metrics.for_each_counter(
+      [&](const std::string& name, std::uint64_t count, double) {
+        if (count != 0) counters.emplace_back(name, count);
+      });
+  std::sort(counters.begin(), counters.end());
+  std::string out = "ringnet_node stats " + node + " t_us=" +
+                    std::to_string(t_us);
+  for (const auto& [name, count] : counters) {
+    out += " " + name + "=" + std::to_string(count);
+  }
+  if (mh != nullptr) {
+    const stats::Histogram lat = mh->latency_hist();
+    if (lat.count() > 0) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    " lat_us_p50=%llu lat_us_p90=%llu lat_us_p99=%llu",
+                    static_cast<unsigned long long>(lat.quantile(0.50)),
+                    static_cast<unsigned long long>(lat.quantile(0.90)),
+                    static_cast<unsigned long long>(lat.quantile(0.99)));
+      out += buf;
+    }
+  }
+  return out;
+}
 
 [[noreturn]] void usage_and_exit(const char* prog) {
   std::fprintf(
       stderr,
       "usage: %s --role ss|br|ap|mh --index N [--brs N] [--aps-per-br N]\n"
       "          [--mhs-per-ap N] [--port-base P] [--host A.B.C.D]\n"
-      "          [--rate HZ] [--msgs N] [--time-scale F] [--duration SECS]\n",
+      "          [--rate HZ] [--msgs N] [--time-scale F] [--duration SECS]\n"
+      "          [--stats-period SECS]\n",
       prog);
   std::exit(2);
 }
@@ -107,6 +152,8 @@ Cli parse_cli(int argc, char** argv) {
       cli.tick_us = static_cast<std::int64_t>(num(value()));
     } else if (arg == "--duration") {
       cli.duration_secs = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--stats-period") {
+      cli.stats_period_secs = std::strtod(value().c_str(), nullptr);
     } else {
       usage_and_exit(argv[0]);
     }
@@ -233,8 +280,30 @@ int main(int argc, char** argv) {
     node = std::move(owned);
   }
 
+  // Every role exposes the same observability surface: an atomic metric
+  // registry, a mutex-guarded flight recorder, and (MH only) a live
+  // latency histogram — all safe to read from this thread mid-run.
+  obs::FlightRecorder* fr = nullptr;
+  const obs::Metrics* metrics = nullptr;
+  if (ss_node) {
+    fr = &ss_node->flight_recorder();
+    metrics = &ss_node->metrics();
+  } else if (br_node) {
+    fr = &br_node->flight_recorder();
+    metrics = &br_node->metrics();
+  } else if (ap_node) {
+    fr = &ap_node->flight_recorder();
+    metrics = &ap_node->metrics();
+  } else {
+    fr = &mh_node->flight_recorder();
+    metrics = &mh_node->metrics();
+  }
+  const std::string node_label =
+      cli.role + "[" + std::to_string(cli.index) + "]";
+
   std::signal(SIGINT, on_sigint);
   std::signal(SIGTERM, on_sigint);
+  std::signal(SIGUSR1, on_sigusr1);
   util::WallClock clock;
   NodeLoop loop(*node, transport, clock, tick_us);
   loop.start();
@@ -248,8 +317,33 @@ int main(int argc, char** argv) {
       cli.duration_secs > 0
           ? clock.now_us() + static_cast<std::int64_t>(cli.duration_secs * 1e6)
           : 0;
+  const std::int64_t stats_period_us =
+      cli.stats_period_secs > 0
+          ? static_cast<std::int64_t>(cli.stats_period_secs * 1e6)
+          : 0;
+  std::int64_t next_stats_us =
+      stats_period_us > 0 ? clock.now_us() + stats_period_us : 0;
   while (!g_interrupted) {
     clock.sleep_us(50'000);
+    if (g_dump_requested) {
+      g_dump_requested = 0;
+      fr->take_dump_request();  // fold any pending auto-dump into this one
+      std::fprintf(stderr, "%s\n",
+                   fr->dump_json(node_label, "sigusr1").c_str());
+      std::fflush(stderr);
+    } else if (fr->take_dump_request()) {
+      // Armed by the role loop itself: token regeneration (watchdog
+      // expiry), a dropped token, or a delivery-order violation.
+      std::fprintf(stderr, "%s\n", fr->dump_json(node_label, "auto").c_str());
+      std::fflush(stderr);
+    }
+    if (stats_period_us > 0 && clock.now_us() >= next_stats_us) {
+      next_stats_us = clock.now_us() + stats_period_us;
+      std::fprintf(stderr, "%s\n",
+                   stats_frame(node_label, *metrics, mh_node, clock.now_us())
+                       .c_str());
+      std::fflush(stderr);
+    }
     if (ss_node && ss_node->all_done()) {
       ss_node->request_stop();
       clock.sleep_us(4 * opts.handshake_resend_us);  // let Stop fan out

@@ -13,6 +13,7 @@
 
 #include "core/config.hpp"
 #include "core/protocol.hpp"
+#include "obs/span.hpp"
 #include "scenario/spec.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
@@ -98,6 +99,10 @@ struct RunResult {
   // delivered destination-membership times, not population times, so this
   // is the quantity bench_groups plots against group fan-out).
   std::uint64_t delivered_total = 0;
+  // Filled when spec.config.record_spans: per-stage lifecycle latency
+  // breakdown (submit/assign/relay/deliver histograms) merged over every
+  // execution context.
+  obs::SpanBreakdown spans;
   // Filled when spec.export_deliveries: total submissions and each MH's
   // delivery sequence in delivery order (MH-index major).
   std::uint64_t total_sent = 0;

@@ -103,6 +103,11 @@ struct ProtocolConfig {
   GroupConfig groups;
   // Keep a per-delivery log for total-order checking (memory ~ deliveries).
   bool record_deliveries = true;
+  // Decompose each delivery into per-stage span latencies (submit/assign/
+  // relay/deliver histograms, fixed memory). Off by default: the stamps
+  // always ride the message, but the per-delivery histogram records are
+  // only paid when a run asks for the breakdown.
+  bool record_spans = false;
 };
 
 }  // namespace ringnet::core

@@ -36,6 +36,7 @@
 #include "core/types.hpp"
 #include "core/working_queue.hpp"
 #include "net/channel.hpp"
+#include "obs/span.hpp"
 #include "proto/messages.hpp"
 #include "sim/simulation.hpp"
 #include "stats/histogram.hpp"
@@ -332,6 +333,9 @@ class RingNetProtocol {
   /// End-to-end latency histogram, merged over execution contexts.
   stats::Histogram lat_hist() const;
   const stats::Histogram& assign_hist() const { return assign_hist_; }
+  /// Per-stage message-lifecycle breakdown, merged over execution
+  /// contexts; empty unless config.record_spans was set.
+  obs::SpanBreakdown span_breakdown() const;
 
   /// Bounded-memory observability (Theorem 5.1 soak assertions).
   GlobalSeq global_acked_floor() const { return global_acked_floor_; }
@@ -390,6 +394,7 @@ class RingNetProtocol {
   void mh_receive(NodeId mh, const proto::DataMsg& msg, bool retransmission);
   void mh_receive_multi(MhNode& m, const proto::DataMsg& msg);
   void deliver_at_mh(MhNode& node, const proto::DataMsg& msg);
+  void record_span(const proto::DataMsg& msg);
 
   // --- acks / repair ------------------------------------------------------
   void spawn_ack_chain(NodeId mh, sim::SimTime delay);
@@ -530,6 +535,9 @@ class RingNetProtocol {
   DeliveryLog deliveries_;
   std::vector<stats::Histogram> lat_hists_;  // per ctx; end-to-end, usec
   stats::Histogram assign_hist_;  // submit -> gseq assignment, microseconds
+  // Per-ctx lifecycle span histograms (merge-on-read, like lat_hists_);
+  // only written when config.record_spans is set.
+  std::vector<obs::SpanBreakdown> span_breakdowns_;
 
   // Per-context loss processes: link keys are dynamic (they include MH
   // ids), so this stays a hash map — but flat and context-local, which

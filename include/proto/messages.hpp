@@ -129,6 +129,14 @@ struct DataMsg {
   // latency accounting reads the message instead of the (possibly remote)
   // source's submit log.
   sim::SimTime submit_at = sim::SimTime::zero();
+  // Message-lifecycle span stamps (sim only, never serialized; same
+  // piggyback pattern as submit_at): uplink arrival at the ordering BR,
+  // gseq assignment at the token pass, and ordered arrival at the
+  // delivering member's BR. deliver_at_mh() turns consecutive stamps into
+  // per-stage latencies when span recording is enabled.
+  sim::SimTime uplink_rx_at = sim::SimTime::zero();
+  sim::SimTime assigned_at = sim::SimTime::zero();
+  sim::SimTime relay_rx_at = sim::SimTime::zero();
 };
 
 /// Periodic delivery watermark from an MH up its tree path: "I have

@@ -22,9 +22,14 @@
 
 #include "core/config.hpp"
 #include "core/types.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "proto/messages.hpp"
 #include "runtime/event_loop.hpp"
 #include "runtime/transport.hpp"
+#include "stats/histogram.hpp"
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 
 namespace ringnet::runtime {
 
@@ -45,6 +50,11 @@ struct RuntimeOptions {
   int max_retx = 10;
   std::size_t mq_retention = 8192;
   std::int64_t handshake_resend_us = 50'000;
+  // Record message-lifecycle span timestamps (uplink-rx / assignment /
+  // relay arrival at the BR, submit / delivery at the MH) so the
+  // orchestrator can join them into a per-stage latency breakdown after
+  // the loops stop. Off by default: span logs grow with message count.
+  bool record_spans = false;
 
   /// Custody-loss budget before the leader regenerates the token. Must
   /// exceed the forward-ARQ give-up budget ((max_retx+1) * retx_timeout):
@@ -77,6 +87,42 @@ struct RuntimeCounters {
   std::uint64_t malformed = 0;         // undecodable proto payloads
 
   void merge(const RuntimeCounters& o);
+};
+
+/// Interned handles into a role's obs::Metrics registry — one per
+/// RuntimeCounters field, under the same names the sim oracle reports
+/// (obs/names.hpp), so counters line up across the two engines. Roles
+/// increment through these on the protocol thread; the daemon reads the
+/// atomic registry live from its main thread.
+struct RuntimeMetricIds {
+  obs::Metrics::MetricId tokens_held = 0;
+  obs::Metrics::MetricId token_regenerated = 0;
+  obs::Metrics::MetricId token_dup_destroyed = 0;
+  obs::Metrics::MetricId token_retx = 0;
+  obs::Metrics::MetricId token_dropped = 0;
+  obs::Metrics::MetricId retransmits = 0;
+  obs::Metrics::MetricId floor_advances = 0;
+  obs::Metrics::MetricId duplicates = 0;
+  obs::Metrics::MetricId acks_sent = 0;
+  obs::Metrics::MetricId uplink_retx = 0;
+  obs::Metrics::MetricId uplink_dropped = 0;
+  obs::Metrics::MetricId really_lost = 0;
+  obs::Metrics::MetricId gaps_skipped = 0;
+  obs::Metrics::MetricId malformed = 0;
+
+  void intern_all(obs::Metrics& m);
+};
+
+/// One gseq assignment witnessed by the ordering BR (record_spans mode):
+/// when the uplink first arrived and when the token pass bound its gseq.
+/// Joined post-run with the MH submit/deliver times and the delivering
+/// BR's relay-arrival map into an obs::SpanBreakdown.
+struct SpanAssignRec {
+  NodeId source;
+  LocalSeq lseq = 0;
+  GlobalSeq gseq = 0;
+  std::int64_t uplink_rx_us = 0;
+  std::int64_t assigned_us = 0;
 };
 
 /// One delivery record, the runtime twin of core::DeliveryLog's entries.
@@ -167,11 +213,27 @@ class BrRuntime final : public RuntimeNode {
   void on_datagram(const Datagram& d, std::int64_t now_us) override;
   void on_tick(std::int64_t now_us) override;
 
-  // Post-stop inspection.
-  const RuntimeCounters& counters() const { return counters_; }
+  // Post-stop inspection. counters() assembles the struct from the atomic
+  // registry, so it is also safe to sample live (values may be mid-burst).
+  RuntimeCounters counters() const;
   std::uint64_t assigned() const { return assigned_; }
   GlobalSeq mq_floor() const { return mq_.base(); }
   std::uint64_t epoch() const { return epoch_; }
+
+  /// Unified metric registry (atomic — safe to read while the loop runs).
+  const obs::Metrics& metrics() const { return metrics_; }
+  /// Flight recorder (internally synchronized — safe to poll/dump live).
+  obs::FlightRecorder& flight_recorder() { return fr_; }
+  const obs::FlightRecorder& flight_recorder() const { return fr_; }
+
+  // record_spans bookkeeping, valid after stop.
+  const std::vector<SpanAssignRec>& span_assigned() const {
+    return span_assigned_;
+  }
+  const std::unordered_map<std::uint64_t, std::int64_t>& span_relay_rx_us()
+      const {
+    return span_relay_rx_us_;
+  }
 
   /// Safe to poll while the loop runs (daemon exit condition).
   bool stop_seen() const { return stop_seen_.load(std::memory_order_acquire); }
@@ -220,7 +282,7 @@ class BrRuntime final : public RuntimeNode {
   bool multi() const { return cfg_.groups.multi(); }
   NodeId next_br() const;
   void handle_proto(const Datagram& d, std::int64_t now_us);
-  void handle_uplink(const proto::DataMsg& msg);
+  void handle_uplink(const proto::DataMsg& msg, std::int64_t now_us);
   void ack_uplink(NodeId source, const SourceIn& si);
   void store_and_forward_ordered(const proto::DataMsg& msg,
                                  std::int64_t now_us);
@@ -239,7 +301,13 @@ class BrRuntime final : public RuntimeNode {
 
   BrConfig cfg_;
   Transport& tr_;
-  RuntimeCounters counters_;
+  obs::Metrics metrics_;
+  RuntimeMetricIds mid_;
+  obs::FlightRecorder fr_;
+  // record_spans mode: assignment records and first ordered arrival of
+  // each gseq in this BR's MQ (relay endpoint for its subtree's members).
+  std::vector<SpanAssignRec> span_assigned_;
+  std::unordered_map<std::uint64_t, std::int64_t> span_relay_rx_us_;
 
   std::uint64_t epoch_ = 1;
   std::uint64_t next_serial_ = 2;  // regeneration lineage (initial token: 1)
@@ -291,7 +359,10 @@ class ApRuntime final : public RuntimeNode {
   void on_datagram(const Datagram& d, std::int64_t now_us) override;
   void on_tick(std::int64_t now_us) override;
 
-  const RuntimeCounters& counters() const { return counters_; }
+  RuntimeCounters counters() const;
+  const obs::Metrics& metrics() const { return metrics_; }
+  obs::FlightRecorder& flight_recorder() { return fr_; }
+  const obs::FlightRecorder& flight_recorder() const { return fr_; }
 
   /// Safe to poll while the loop runs (daemon exit condition).
   bool stop_seen() const { return stop_seen_.load(std::memory_order_acquire); }
@@ -299,7 +370,9 @@ class ApRuntime final : public RuntimeNode {
  private:
   ApConfig cfg_;
   Transport& tr_;
-  RuntimeCounters counters_;
+  obs::Metrics metrics_;
+  RuntimeMetricIds mid_;
+  obs::FlightRecorder fr_;
   std::vector<NodeId> attached_;
   std::unordered_set<std::uint32_t> attached_set_;
   bool start_seen_ = false;
@@ -334,12 +407,33 @@ class MhRuntime final : public RuntimeNode {
   void on_datagram(const Datagram& d, std::int64_t now_us) override;
   void on_tick(std::int64_t now_us) override;
 
-  // Post-stop inspection.
-  const RuntimeCounters& counters() const { return counters_; }
+  // Post-stop inspection. counters() assembles the struct from the atomic
+  // registry, so it is also safe to sample live (values may be mid-burst).
+  RuntimeCounters counters() const;
   const std::vector<DeliveredRec>& deliveries() const { return log_; }
   std::uint64_t delivered_count() const { return delivered_; }
   std::uint64_t submitted_count() const { return next_lseq_; }
   const std::vector<std::int64_t>& latencies_us() const { return lat_us_; }
+
+  /// Unified metric registry (atomic — safe to read while the loop runs).
+  const obs::Metrics& metrics() const { return metrics_; }
+  /// Flight recorder (internally synchronized — safe to poll/dump live).
+  obs::FlightRecorder& flight_recorder() { return fr_; }
+  const obs::FlightRecorder& flight_recorder() const { return fr_; }
+  /// Mutex-guarded live latency snapshot; safe to poll while the loop runs
+  /// (the daemon's periodic stats frame quotes its quantiles).
+  stats::Histogram latency_hist() const;
+
+  // record_spans bookkeeping, valid after stop: (lseq, submit time) pairs
+  // and per-delivery times parallel to deliveries().
+  const std::vector<std::pair<std::uint64_t, std::int64_t>>& span_submits()
+      const {
+    return span_submits_;
+  }
+  const std::vector<std::int64_t>& deliver_times_us() const {
+    return deliver_times_us_;
+  }
+
   /// Safe to poll while the loop runs (daemon exit condition).
   bool stop_seen() const { return stop_seen_.load(std::memory_order_acquire); }
 
@@ -355,12 +449,20 @@ class MhRuntime final : public RuntimeNode {
   void receive_ordered(const proto::DataMsg& msg, std::int64_t now_us);
   void receive_chain(const proto::DataMsg& msg, std::int64_t now_us);
   void deliver(const proto::DataMsg& msg, std::int64_t now_us);
+  void record_latency(std::int64_t lat_us);
   void gap_skip_to(GlobalSeq floor, std::int64_t now_us);
   void send_ack();
 
   MhConfig cfg_;
   Transport& tr_;
-  RuntimeCounters counters_;
+  obs::Metrics metrics_;
+  RuntimeMetricIds mid_;
+  obs::FlightRecorder fr_;
+  mutable util::Mutex lat_mu_;
+  stats::Histogram live_lat_ RN_GUARDED_BY(lat_mu_);
+  // record_spans mode: submit stamps and delivery stamps (parallel to log_).
+  std::vector<std::pair<std::uint64_t, std::int64_t>> span_submits_;
+  std::vector<std::int64_t> deliver_times_us_;
 
   bool start_seen_ = false;
   std::atomic<bool> stop_seen_{false};  // polled by the daemon's main thread
@@ -421,11 +523,20 @@ class SsRuntime final : public RuntimeNode {
     stop_requested_.store(true, std::memory_order_release);
   }
 
+  /// Unified metric registry (atomic — safe to read while the loop runs).
+  const obs::Metrics& metrics() const { return metrics_; }
+  /// Flight recorder (internally synchronized — safe to poll/dump live).
+  obs::FlightRecorder& flight_recorder() { return fr_; }
+  const obs::FlightRecorder& flight_recorder() const { return fr_; }
+
  private:
   void broadcast(ControlMsg msg);
 
   SsConfig cfg_;
   Transport& tr_;
+  obs::Metrics metrics_;
+  obs::Metrics::MetricId mid_heartbeats_ = 0;
+  obs::FlightRecorder fr_;
   std::unordered_set<std::uint32_t> ready_;
   std::unordered_set<std::uint32_t> done_;
   std::unordered_map<std::uint32_t, std::uint64_t> last_beat_;

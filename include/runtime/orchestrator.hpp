@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "obs/span.hpp"
 #include "runtime/inproc_transport.hpp"
 #include "runtime/node.hpp"
 
@@ -75,6 +76,11 @@ struct LoopbackResult {
   std::optional<std::string> order_violation;
   std::vector<std::int64_t> latencies_us;  // pooled submit->delivery, all MHs
   RuntimeCounters counters;                // merged over every node
+  // Per-stage lifecycle breakdown (spec.opts.record_spans): MH submit and
+  // delivery stamps joined with the assigning BR's uplink-rx/assignment
+  // records and the delivering BR's relay-arrival map. All node loops share
+  // one WallClock, so cross-node differences are well-defined.
+  obs::SpanBreakdown spans;
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t frames_malformed = 0;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sharded_scheduler.hpp"
 #include "sim/time.hpp"
@@ -111,72 +112,11 @@ class Trace {
   std::deque<TraceEvent> events_;
 };
 
-/// Counters and high-watermark gauges. Names are interned once into dense
-/// handles; hot paths hold a MetricId and every incr/gauge_max is an atomic
-/// vector slot, not a string-keyed tree lookup. Mutation is thread-safe
-/// (relaxed increments, CAS-max gauges) so parallel shards share one
-/// registry: additions commute and maxima are order-free, which keeps the
-/// totals identical between the sharded and single-heap engines. intern()
-/// itself is serial-phase only (construction / cold paths).
-class Metrics {
- public:
-  using MetricId = std::uint32_t;
-
-  Metrics() = default;
-  Metrics(const Metrics&) = delete;
-  Metrics& operator=(const Metrics&) = delete;
-
-  /// Idempotent: interning the same name again returns the same handle.
-  MetricId intern(const std::string& name) {
-    const auto [it, inserted] =
-        ids_.emplace(name, static_cast<MetricId>(counters_.size()));
-    if (inserted) {
-      counters_.emplace_back(0);
-      gauges_.emplace_back(0.0);
-    }
-    return it->second;
-  }
-
-  void incr(MetricId id, std::uint64_t delta = 1) {
-    counters_[id].fetch_add(delta, std::memory_order_relaxed);
-  }
-  std::uint64_t counter(MetricId id) const {
-    return counters_[id].load(std::memory_order_relaxed);
-  }
-
-  /// Record an observation; the gauge keeps the maximum ever seen.
-  void gauge_max(MetricId id, double value) {
-    std::atomic<double>& g = gauges_[id];
-    double cur = g.load(std::memory_order_relaxed);
-    while (value > cur &&
-           !g.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
-    }
-  }
-  double gauge(MetricId id) const {
-    return gauges_[id].load(std::memory_order_relaxed);
-  }
-
-  void incr(const std::string& name, std::uint64_t delta = 1) {
-    incr(intern(name), delta);
-  }
-  std::uint64_t counter(const std::string& name) const {
-    const auto it = ids_.find(name);
-    return it == ids_.end() ? 0 : counter(it->second);
-  }
-  void gauge_max(const std::string& name, double value) {
-    gauge_max(intern(name), value);
-  }
-  double gauge(const std::string& name) const {
-    const auto it = ids_.find(name);
-    return it == ids_.end() ? 0.0 : gauge(it->second);
-  }
-
- private:
-  std::unordered_map<std::string, MetricId> ids_;
-  // Deques: slot references stay valid across intern() growth.
-  std::deque<std::atomic<std::uint64_t>> counters_;
-  std::deque<std::atomic<double>> gauges_;
-};
+/// The unified registry now lives in obs/metrics.hpp (thread-safe intern,
+/// atomic counters/gauges, sharded histograms) and is shared verbatim with
+/// the real-socket runtime; the sim-era name stays as an alias so every
+/// existing call site keeps compiling.
+using Metrics = obs::Metrics;
 
 /// Execution plan for a Simulation. domains == 0 is the classic
 /// single-context simulation. With domains > 0, threads selects the
@@ -194,7 +134,10 @@ class Simulation {
   explicit Simulation(std::uint64_t seed) : Simulation(seed, ShardPlan{}) {}
 
   Simulation(std::uint64_t seed, ShardPlan plan)
-      : plan_(plan), seed_(seed), single_(plan.domains) {
+      : plan_(plan),
+        seed_(seed),
+        single_(plan.domains),
+        metrics_(static_cast<std::size_t>(plan.domains) + 1) {
     const std::size_t n_ctx = static_cast<std::size_t>(plan.domains) + 1;
     rngs_.reserve(n_ctx);
     for (std::size_t i = 0; i < n_ctx; ++i) {
@@ -209,6 +152,7 @@ class Simulation {
     if (plan.domains > 0 && plan.threads > 0) {
       sharded_ = std::make_unique<ShardedScheduler>(
           plan.domains, plan.lookahead, plan.threads);
+      sharded_->set_metrics(&metrics_);
     }
   }
 

@@ -44,6 +44,10 @@ class Histogram {
     return max_;
   }
 
+  /// Canonical spelling of percentile() for observability call sites; the
+  /// two are the same function.
+  std::uint64_t quantile(double q) const { return percentile(q); }
+
   std::uint64_t p50() const { return percentile(0.50); }
   std::uint64_t p90() const { return percentile(0.90); }
   std::uint64_t p99() const { return percentile(0.99); }

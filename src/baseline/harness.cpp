@@ -4,9 +4,12 @@
 #include <optional>
 
 #include "core/analysis.hpp"
+#include "obs/names.hpp"
 #include "scenario/engine.hpp"
 
 namespace ringnet::baseline {
+
+namespace names = obs::names;
 
 core::ProtocolConfig effective_config(const RunSpec& spec) {
   core::ProtocolConfig cfg = spec.config;
@@ -123,9 +126,11 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
   const std::size_t n_mh = proto.topology().mhs.size();
   if (active > 0.0 && n_mh > 0) {
     out.throughput_per_mh_hz =
-        static_cast<double>(metrics.counter("mh.delivered")) /
+        static_cast<double>(metrics.counter(names::kMhDelivered)) /
         static_cast<double>(n_mh) / active;
   }
+
+  if (cfg.record_spans) out.spans = proto.span_breakdown();
 
   const auto lat = proto.lat_hist();
   out.lat_mean_us = lat.mean();
@@ -137,25 +142,24 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
   out.assign_p99_us = assign.p99();
   out.assign_max_us = assign.max();
 
-  out.wq_peak = metrics.gauge("buf.wq.peak");
-  out.mq_peak = metrics.gauge("buf.mq.peak");
-  out.archive_peak = metrics.gauge("buf.archive.peak");
-  out.submitlog_peak = metrics.gauge("buf.submitlog.peak");
-  out.retransmits = metrics.counter("arq.retransmits");
-  out.really_lost = metrics.counter("mh.gap_skipped_msgs");
-  out.mh_gaps_skipped = metrics.counter("mh.gaps_skipped");
-  out.tokens_held = metrics.counter("token.held");
-  out.token_regenerations = metrics.counter("token.regenerated");
-  out.duplicate_tokens_destroyed =
-      metrics.counter("token.duplicates_destroyed");
-  out.handoffs = metrics.counter("handoff.count");
-  out.hot_attaches = metrics.counter("handoff.hot");
-  out.cold_attaches = metrics.counter("handoff.cold");
-  out.churn_leaves = metrics.counter("churn.leaves");
-  out.churn_rejoins = metrics.counter("churn.rejoins");
-  out.blackout_drops = metrics.counter("blackout.dropped");
-  out.uplink_lost = metrics.counter("blackout.uplink_lost");
-  out.tokens_dropped = metrics.counter("token.dropped");
+  out.wq_peak = metrics.gauge(names::kBufWqPeak);
+  out.mq_peak = metrics.gauge(names::kBufMqPeak);
+  out.archive_peak = metrics.gauge(names::kBufArchivePeak);
+  out.submitlog_peak = metrics.gauge(names::kBufSubmitlogPeak);
+  out.retransmits = metrics.counter(names::kRetransmits);
+  out.really_lost = metrics.counter(names::kGapSkippedMsgs);
+  out.mh_gaps_skipped = metrics.counter(names::kGapsSkipped);
+  out.tokens_held = metrics.counter(names::kTokenHeld);
+  out.token_regenerations = metrics.counter(names::kTokenRegenerated);
+  out.duplicate_tokens_destroyed = metrics.counter(names::kTokenDupDestroyed);
+  out.handoffs = metrics.counter(names::kHandoffCount);
+  out.hot_attaches = metrics.counter(names::kHandoffHot);
+  out.cold_attaches = metrics.counter(names::kHandoffCold);
+  out.churn_leaves = metrics.counter(names::kChurnLeaves);
+  out.churn_rejoins = metrics.counter(names::kChurnRejoins);
+  out.blackout_drops = metrics.counter(names::kBlackoutDropped);
+  out.uplink_lost = metrics.counter(names::kBlackoutUplinkLost);
+  out.tokens_dropped = metrics.counter(names::kTokenDropped);
 
   if (proto.total_sent() > 0) {
     double min_ratio = 1.0;
@@ -174,7 +178,7 @@ RunResult run_experiment(const RunSpec& spec, const RunHook& hook) {
             : proto.deliveries().check_total_order();
   }
   out.total_sent = proto.total_sent();
-  out.delivered_total = metrics.counter("mh.delivered");
+  out.delivered_total = metrics.counter(names::kMhDelivered);
   if (spec.export_deliveries) {
     const auto& per_mh = proto.deliveries().per_mh();
     out.deliveries_offsets.reserve(per_mh.size() + 1);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/groups.hpp"
+#include "obs/names.hpp"
 
 namespace ringnet::core {
 
@@ -125,6 +126,7 @@ RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
   }
   deliveries_.reset(topo_.mhs);
   lat_hists_.resize(n_ctx);
+  span_breakdowns_.resize(n_ctx);
   loss_.resize(n_ctx);
 
   // Every BR starts with a converged view: all MHs at their home AP.
@@ -161,33 +163,34 @@ RingNetProtocol::RingNetProtocol(sim::Simulation& sim, ProtocolConfig config)
   }
 
   auto& mx = sim_.metrics();
-  mid_.mh_delivered = mx.intern("mh.delivered");
-  mid_.acks_sent = mx.intern("arq.acks_sent");
-  mid_.retransmits = mx.intern("arq.retransmits");
-  mid_.token_held = mx.intern("token.held");
-  mid_.token_dup_destroyed = mx.intern("token.duplicates_destroyed");
-  mid_.token_regenerated = mx.intern("token.regenerated");
-  mid_.token_dropped = mx.intern("token.dropped");
-  mid_.wq_dropped = mx.intern("wq.dropped");
-  mid_.gaps_skipped = mx.intern("mh.gaps_skipped");
-  mid_.gap_skipped_msgs = mx.intern("mh.gap_skipped_msgs");
-  mid_.membership_applied = mx.intern("membership.applied");
-  mid_.membership_relayed = mx.intern("membership.relayed");
-  mid_.ring_repairs = mx.intern("ring.repairs");
-  mid_.ring_rejoins = mx.intern("ring.rejoins");
-  mid_.handoff_count = mx.intern("handoff.count");
-  mid_.handoff_hot = mx.intern("handoff.hot");
-  mid_.handoff_cold = mx.intern("handoff.cold");
-  mid_.archive_pruned = mx.intern("archive.pruned");
-  mid_.churn_leaves = mx.intern("churn.leaves");
-  mid_.churn_rejoins = mx.intern("churn.rejoins");
-  mid_.blackout_dropped = mx.intern("blackout.dropped");
-  mid_.blackout_uplink_lost = mx.intern("blackout.uplink_lost");
-  mid_.park_dropped = mx.intern("source.park_dropped");
-  mid_.buf_wq_peak = mx.intern("buf.wq.peak");
-  mid_.buf_mq_peak = mx.intern("buf.mq.peak");
-  mid_.buf_archive_peak = mx.intern("buf.archive.peak");
-  mid_.buf_submitlog_peak = mx.intern("buf.submitlog.peak");
+  namespace names = obs::names;
+  mid_.mh_delivered = mx.intern(names::kMhDelivered);
+  mid_.acks_sent = mx.intern(names::kAcksSent);
+  mid_.retransmits = mx.intern(names::kRetransmits);
+  mid_.token_held = mx.intern(names::kTokenHeld);
+  mid_.token_dup_destroyed = mx.intern(names::kTokenDupDestroyed);
+  mid_.token_regenerated = mx.intern(names::kTokenRegenerated);
+  mid_.token_dropped = mx.intern(names::kTokenDropped);
+  mid_.wq_dropped = mx.intern(names::kWqDropped);
+  mid_.gaps_skipped = mx.intern(names::kGapsSkipped);
+  mid_.gap_skipped_msgs = mx.intern(names::kGapSkippedMsgs);
+  mid_.membership_applied = mx.intern(names::kMembershipApplied);
+  mid_.membership_relayed = mx.intern(names::kMembershipRelayed);
+  mid_.ring_repairs = mx.intern(names::kRingRepairs);
+  mid_.ring_rejoins = mx.intern(names::kRingRejoins);
+  mid_.handoff_count = mx.intern(names::kHandoffCount);
+  mid_.handoff_hot = mx.intern(names::kHandoffHot);
+  mid_.handoff_cold = mx.intern(names::kHandoffCold);
+  mid_.archive_pruned = mx.intern(names::kArchivePruned);
+  mid_.churn_leaves = mx.intern(names::kChurnLeaves);
+  mid_.churn_rejoins = mx.intern(names::kChurnRejoins);
+  mid_.blackout_dropped = mx.intern(names::kBlackoutDropped);
+  mid_.blackout_uplink_lost = mx.intern(names::kBlackoutUplinkLost);
+  mid_.park_dropped = mx.intern(names::kParkDropped);
+  mid_.buf_wq_peak = mx.intern(names::kBufWqPeak);
+  mid_.buf_mq_peak = mx.intern(names::kBufMqPeak);
+  mid_.buf_archive_peak = mx.intern(names::kBufArchivePeak);
+  mid_.buf_submitlog_peak = mx.intern(names::kBufSubmitlogPeak);
 }
 
 // ---------------------------------------------------------------------------
@@ -369,12 +372,13 @@ void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
   }
   const sim::SimTime delay = uplink_delay(mh, data_bytes(msg));
   if (config_.options.ordered) {
-    sim_.after(br_domain(br), delay, [this, br, msg] {
+    sim_.after(br_domain(br), delay, [this, br, msg = msg]() mutable {
       BrNode& b = brs_[br.index()];
       if (!b.alive_) {
         release_submit(msg);  // lost at a dead BR: never archived
         return;
       }
+      msg.uplink_rx_at = sim_.now();
       if (config_.options.tau > sim::SimTime::zero()) {
         b.staging_.push_back(msg);
       } else {
@@ -384,8 +388,9 @@ void RingNetProtocol::uplink_to_br(const proto::DataMsg& msg, NodeId mh) {
     });
   } else {
     // Remark 3 variant: no ordering pass — fan straight out of the BR tier.
-    sim_.after(br_domain(br), delay, [this, br, msg] {
+    sim_.after(br_domain(br), delay, [this, br, msg = msg]() mutable {
       if (!brs_[br.index()].alive_) return;
+      msg.uplink_rx_at = sim_.now();
       std::vector<proto::DataMsg> batch{msg};
       distribute(br, batch);
     });
@@ -444,6 +449,7 @@ void RingNetProtocol::token_arrive(NodeId br, proto::OrderingToken token) {
         m.gseq = token.append_range(br, m.source, m.lseq, m.lseq);
         m.ordering_node = br;
         m.epoch = token.epoch();
+        m.assigned_at = sim_.now();
         if (multi_ && !m.groups.empty()) {
           // Per-destination-group dense sequence, drawn from the token's
           // group counters so it is totally ordered ring-wide. With the
@@ -564,7 +570,9 @@ void RingNetProtocol::forward_down(NodeId br, const proto::DataMsg& msg) {
   // One refcounted copy carries the frame to every member; the per-member
   // fan-out is the hottest loop in the deployment and must not copy the
   // full DataMsg per destination (same idiom as distribute()'s ring frame).
-  const auto frame = std::make_shared<const proto::DataMsg>(msg);
+  auto stamped = std::make_shared<proto::DataMsg>(msg);
+  stamped->relay_rx_at = sim_.now();
+  const std::shared_ptr<const proto::DataMsg> frame = std::move(stamped);
   for (NodeId mh : members) {
     MhNode& m = mhs_[mh.index()];
     if (!m.attached_) continue;
@@ -595,6 +603,7 @@ void RingNetProtocol::forward_down_multi(NodeId br, const proto::DataMsg& msg) {
       member_seen_stamp_[i] = stamp;
       MhNode& m = mhs_[i];
       proto::DataMsg copy = msg;
+      copy.relay_rx_at = sim_.now();
       if (config_.options.ordered) {
         // Chain the frame to the previous one forwarded to this member,
         // and log it for ack-driven resends, even when the radio is dark:
@@ -700,6 +709,7 @@ void RingNetProtocol::deliver_at_mh(MhNode& node, const proto::DataMsg& msg) {
           static_cast<std::uint64_t>((sim_.now() - *at).us));
     }
   }
+  if (config_.record_spans) record_span(msg);
   if (config_.record_deliveries && config_.options.ordered) {
     GroupId gid = msg.gid;
     if (multi_ && !msg.groups.empty()) {
@@ -721,6 +731,34 @@ stats::Histogram RingNetProtocol::lat_hist() const {
   stats::Histogram merged;
   for (const auto& h : lat_hists_) merged.merge_from(h);
   return merged;
+}
+
+obs::SpanBreakdown RingNetProtocol::span_breakdown() const {
+  obs::SpanBreakdown merged;
+  for (const auto& s : span_breakdowns_) merged.merge_from(s);
+  return merged;
+}
+
+void RingNetProtocol::record_span(const proto::DataMsg& msg) {
+  // Every stage stamp must be monotone from the previous one; a stage the
+  // message never passed (e.g. no assignment in the unordered variant)
+  // leaves its stamp at zero and disqualifies the whole span rather than
+  // crediting a nonsense duration.
+  const sim::SimTime now = sim_.now();
+  if (msg.uplink_rx_at < msg.submit_at || msg.assigned_at < msg.uplink_rx_at ||
+      msg.relay_rx_at < msg.assigned_at || now < msg.relay_rx_at) {
+    return;
+  }
+  obs::SpanBreakdown& sb = span_breakdowns_[sim_.current_ctx()];
+  sb.record(obs::SpanStage::Submit,
+            static_cast<std::uint64_t>((msg.uplink_rx_at - msg.submit_at).us));
+  sb.record(obs::SpanStage::Assign,
+            static_cast<std::uint64_t>((msg.assigned_at - msg.uplink_rx_at).us));
+  sb.record(obs::SpanStage::Relay,
+            static_cast<std::uint64_t>((msg.relay_rx_at - msg.assigned_at).us));
+  sb.record(obs::SpanStage::Deliver,
+            static_cast<std::uint64_t>((now - msg.relay_rx_at).us));
+  sb.record_total(static_cast<std::uint64_t>((now - msg.submit_at).us));
 }
 
 // ---------------------------------------------------------------------------

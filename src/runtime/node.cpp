@@ -5,8 +5,52 @@
 #include <utility>
 
 #include "core/groups.hpp"
+#include "obs/names.hpp"
 
 namespace ringnet::runtime {
+
+namespace names = obs::names;
+
+namespace {
+/// Rebuild the plain counter struct from a role's atomic registry. Safe
+/// live (relaxed reads) as well as post-stop.
+RuntimeCounters read_counters(const obs::Metrics& m,
+                              const RuntimeMetricIds& id) {
+  RuntimeCounters c;
+  c.tokens_held = m.counter(id.tokens_held);
+  c.token_regenerated = m.counter(id.token_regenerated);
+  c.token_dup_destroyed = m.counter(id.token_dup_destroyed);
+  c.token_retx = m.counter(id.token_retx);
+  c.token_dropped = m.counter(id.token_dropped);
+  c.retransmits = m.counter(id.retransmits);
+  c.floor_advances = m.counter(id.floor_advances);
+  c.duplicates = m.counter(id.duplicates);
+  c.acks_sent = m.counter(id.acks_sent);
+  c.uplink_retx = m.counter(id.uplink_retx);
+  c.uplink_dropped = m.counter(id.uplink_dropped);
+  c.really_lost = m.counter(id.really_lost);
+  c.gaps_skipped = m.counter(id.gaps_skipped);
+  c.malformed = m.counter(id.malformed);
+  return c;
+}
+}  // namespace
+
+void RuntimeMetricIds::intern_all(obs::Metrics& m) {
+  tokens_held = m.intern(names::kTokenHeld);
+  token_regenerated = m.intern(names::kTokenRegenerated);
+  token_dup_destroyed = m.intern(names::kTokenDupDestroyed);
+  token_retx = m.intern(names::kTokenRetx);
+  token_dropped = m.intern(names::kTokenDropped);
+  retransmits = m.intern(names::kRetransmits);
+  floor_advances = m.intern(names::kFloorAdvances);
+  duplicates = m.intern(names::kDuplicates);
+  acks_sent = m.intern(names::kAcksSent);
+  uplink_retx = m.intern(names::kUplinkRetx);
+  uplink_dropped = m.intern(names::kUplinkDropped);
+  really_lost = m.intern(names::kReallyLost);
+  gaps_skipped = m.intern(names::kGapsSkipped);
+  malformed = m.intern(names::kMalformed);
+}
 
 namespace {
 /// Downlink/peer resend batch per ack: bounds the burst a single stuck
@@ -57,6 +101,7 @@ void RuntimeCounters::merge(const RuntimeCounters& o) {
 
 BrRuntime::BrRuntime(BrConfig cfg, Transport& tr)
     : cfg_(std::move(cfg)), tr_(tr) {
+  mid_.intern_all(metrics_);
   for (std::size_t i = 0; i < cfg_.members.size(); ++i) {
     Member m;
     m.ap = cfg_.member_ap[i];
@@ -65,6 +110,10 @@ BrRuntime::BrRuntime(BrConfig cfg, Transport& tr)
     }
     members_[cfg_.members[i].v] = std::move(m);
   }
+}
+
+RuntimeCounters BrRuntime::counters() const {
+  return read_counters(metrics_, mid_);
 }
 
 NodeId BrRuntime::next_br() const {
@@ -96,7 +145,7 @@ void BrRuntime::on_datagram(const Datagram& d, std::int64_t now_us) {
   if (d.kind == FrameKind::Control) {
     const auto ctl = decode_control(d.payload.data(), d.payload.size());
     if (!ctl) {
-      ++counters_.malformed;
+      metrics_.incr(mid_.malformed);
       return;
     }
     if (ctl->op == ControlOp::Start) start_seen_ = true;
@@ -111,7 +160,7 @@ void BrRuntime::on_datagram(const Datagram& d, std::int64_t now_us) {
 void BrRuntime::handle_proto(const Datagram& d, std::int64_t now_us) {
   auto msg = proto::decode(d.payload.data(), d.payload.size());
   if (!msg) {
-    ++counters_.malformed;
+    metrics_.incr(mid_.malformed);
     return;
   }
   switch (msg->type()) {
@@ -120,7 +169,7 @@ void BrRuntime::handle_proto(const Datagram& d, std::int64_t now_us) {
       if (dm.ordering_node.valid()) {
         store_and_forward_ordered(dm, now_us);
       } else {
-        handle_uplink(dm);
+        handle_uplink(dm, now_us);
       }
       break;
     }
@@ -171,15 +220,20 @@ void BrRuntime::handle_proto(const Datagram& d, std::int64_t now_us) {
   }
 }
 
-void BrRuntime::handle_uplink(const proto::DataMsg& msg) {
+void BrRuntime::handle_uplink(const proto::DataMsg& msg, std::int64_t now_us) {
   SourceIn& si = uplink_[msg.source.v];
   if (msg.lseq < si.next_expected) {
-    ++counters_.duplicates;
+    metrics_.incr(mid_.duplicates);
     ack_uplink(msg.source, si);
     return;
   }
+  // Span stamp: first reception of each uplink. The stamp rides the sim-only
+  // (non-serialized) DataMsg field through staging_/pending until assignment,
+  // where it lands in span_assigned_.
+  const bool spans = cfg_.opts.record_spans;
   if (msg.lseq == si.next_expected) {
     staging_.push_back(msg);
+    if (spans) staging_.back().uplink_rx_at.us = now_us;
     ++si.next_expected;
     auto it = si.pending.find(si.next_expected);
     while (it != si.pending.end()) {
@@ -192,7 +246,12 @@ void BrRuntime::handle_uplink(const proto::DataMsg& msg) {
     return;
   }
   if (si.pending.size() >= kUplinkPendingCap) return;  // source ARQ re-offers
-  if (!si.pending.emplace(msg.lseq, msg).second) ++counters_.duplicates;
+  const auto [it, inserted] = si.pending.emplace(msg.lseq, msg);
+  if (!inserted) {
+    metrics_.incr(mid_.duplicates);
+  } else if (spans) {
+    it->second.uplink_rx_at.us = now_us;
+  }
 }
 
 void BrRuntime::ack_uplink(NodeId source, const SourceIn& si) {
@@ -221,9 +280,12 @@ void BrRuntime::store_and_forward_ordered(const proto::DataMsg& msg,
   // the token itself is crawling behind storm-deep inboxes.
   if (msg.epoch == epoch_) last_token_seen_us_ = now_us;
   if (!mq_.insert(msg.gseq, msg)) {
-    ++counters_.duplicates;
+    metrics_.incr(mid_.duplicates);
     return;
   }
+  // Span stamp: first ordered arrival of this gseq at the relay endpoint
+  // for this BR's subtree (emplace keeps the earliest arrival).
+  if (cfg_.opts.record_spans) span_relay_rx_us_.emplace(msg.gseq, now_us);
   if (!any_seen_ || msg.gseq > max_seen_gseq_) {
     max_seen_gseq_ = msg.gseq;
     any_seen_ = true;
@@ -270,7 +332,8 @@ void BrRuntime::handle_token(proto::OrderingToken token, NodeId from,
   tr_.send_msg(from, proto::Message(proto::TokenAckMsg{
                          cfg_.self, token.serial(), token.rotation()}));
   if (token.epoch() < epoch_) {
-    ++counters_.token_dup_destroyed;
+    metrics_.incr(mid_.token_dup_destroyed);
+    fr_.record(obs::FrEvent::TokenDupDestroyed, now_us, token.serial());
     return;
   }
   // Accept only a strictly newer visit of the same lineage: retransmits
@@ -278,7 +341,8 @@ void BrRuntime::handle_token(proto::OrderingToken token, NodeId from,
   if (last_rx_key_.valid && token.epoch() == last_rx_key_.epoch &&
       token.serial() == last_rx_key_.serial &&
       token.rotation() <= last_rx_key_.rotation) {
-    ++counters_.token_dup_destroyed;
+    metrics_.incr(mid_.token_dup_destroyed);
+    fr_.record(obs::FrEvent::TokenDupDestroyed, now_us, token.serial());
     return;
   }
   epoch_ = std::max(epoch_, token.epoch());
@@ -292,7 +356,9 @@ void BrRuntime::accept_token(proto::OrderingToken token, std::int64_t now_us) {
   token_ = std::move(token);
   last_token_seen_us_ = now_us;
   await_.active = false;  // custody is back; any outstanding forward is moot
-  ++counters_.tokens_held;
+  metrics_.incr(mid_.tokens_held);
+  fr_.record(obs::FrEvent::TokenRx, now_us, token_.serial(),
+             token_.rotation());
   if (leader()) token_.bump_rotation();
   token_.prune_entries_of(cfg_.self);
   release_deadline_us_ = now_us + cfg_.opts.token_hold_us;
@@ -313,6 +379,10 @@ void BrRuntime::assign_staged(std::int64_t now_us) {
       }
     }
     ++assigned_;
+    if (cfg_.opts.record_spans) {
+      span_assigned_.push_back(SpanAssignRec{m.source, m.lseq, m.gseq,
+                                             m.uplink_rx_at.us, now_us});
+    }
     store_and_forward_ordered(m, now_us);
     for (NodeId peer : cfg_.ring) {
       if (peer != cfg_.self) tr_.send_msg(peer, proto::Message(m));
@@ -328,6 +398,7 @@ void BrRuntime::release_token(std::int64_t now_us) {
                       std::move(bytes), 0,
                       now_us + cfg_.opts.retx_timeout_us};
   tr_.send(next_br(), await_.frame_bytes);
+  fr_.record(obs::FrEvent::TokenTx, now_us, token_.serial(), next_br().v);
   has_token_ = false;
 }
 
@@ -342,7 +413,8 @@ void BrRuntime::regenerate_token(std::int64_t now_us) {
   for (const auto& [gid, next] : group_seq_high_) {
     t.set_group_seq(GroupId{gid}, next);
   }
-  ++counters_.token_regenerated;
+  metrics_.incr(mid_.token_regenerated);
+  fr_.record(obs::FrEvent::TokenRegen, now_us, epoch_);  // arms an auto-dump
   last_rx_key_ = TokenKey{t.epoch(), t.serial(), t.rotation(), true};
   accept_token(std::move(t), now_us);
 }
@@ -357,7 +429,7 @@ void BrRuntime::handle_member_ack(const proto::DeliveryAckMsg& ack,
       if (!any_seen_) break;
       if (const proto::DataMsg* m = mq_.find(g)) {
         tr_.send_msg(ack.member, proto::Message(*m));
-        ++counters_.retransmits;
+        metrics_.incr(mid_.retransmits);
       }
     }
     return;
@@ -385,6 +457,7 @@ void BrRuntime::handle_member_ack(const proto::DeliveryAckMsg& ack,
   m.stalled_acks = 0;
   m.last_resend_us = now_us;
   const GlobalSeq want = m.next_expected;
+  fr_.record(obs::FrEvent::StallResync, now_us, ack.member.v, want);
   if (want < mq_.base()) {
     // The MQ no longer retains the member's gap: push its floor forward so
     // it gap-skips (those messages are "really lost" for this member).
@@ -392,15 +465,17 @@ void BrRuntime::handle_member_ack(const proto::DeliveryAckMsg& ack,
                  proto::Message(proto::DeliveryAckMsg{kRuntimeGroup,
                                                       ack.member, mq_.base()}),
                  ack.member);
-    ++counters_.floor_advances;
+    metrics_.incr(mid_.floor_advances);
     return;
   }
   bool pull_requested = false;
+  std::uint64_t resent = 0;
   for (GlobalSeq g = want; g <= max_seen_gseq_ && g < want + kResendWindow;
        ++g) {
     if (const proto::DataMsg* dm = mq_.find(g)) {
       tr_.send_msg(m.ap, proto::Message(*dm), ack.member);
-      ++counters_.retransmits;
+      metrics_.incr(mid_.retransmits);
+      ++resent;
     } else if (!pull_requested &&
                now_us - last_pull_us_ >= cfg_.opts.retx_timeout_us) {
       // Our own MQ has a hole (a lost peer-BR distribution): ask the ring
@@ -409,6 +484,9 @@ void BrRuntime::handle_member_ack(const proto::DeliveryAckMsg& ack,
       pull_requested = true;
       request_pull(g, now_us);
     }
+  }
+  if (resent > 0) {
+    fr_.record(obs::FrEvent::ArqResend, now_us, ack.member.v, resent);
   }
 }
 
@@ -436,7 +514,9 @@ void BrRuntime::handle_chain_ack(Member& m, NodeId member, GlobalSeq tail,
   // gap-skips straight to the survivor.
   if (!m.fwd_log.empty() && m.fwd_log.front().prev > m.next_expected) {
     m.fwd_log.front().prev = m.next_expected;
-    ++counters_.gaps_skipped;
+    metrics_.incr(mid_.gaps_skipped);
+    fr_.record(obs::FrEvent::ChainSplice, now_us, member.v,
+               m.fwd_log.front().gseq);
   }
   // Stall detection, same discipline as the legacy path: only a member (or
   // a BR-side chain cursor) making no progress across kStallAckLimit acks
@@ -465,7 +545,7 @@ void BrRuntime::handle_chain_ack(Member& m, NodeId member, GlobalSeq tail,
       proto::DataMsg copy = *dm;
       copy.prev_chain = it->prev;
       tr_.send_msg(m.ap, proto::Message(copy), member);
-      ++counters_.retransmits;
+      metrics_.incr(mid_.retransmits);
       ++served;
       ++it;
     } else if (it->gseq >= mq_.base()) {
@@ -485,7 +565,8 @@ void BrRuntime::handle_chain_ack(Member& m, NodeId member, GlobalSeq tail,
       } else if (m.fwd_tail == dead.gseq + 1) {
         m.fwd_tail = dead.prev;
       }
-      ++counters_.really_lost;
+      metrics_.incr(mid_.really_lost);
+      fr_.record(obs::FrEvent::ChainSplice, now_us, member.v, dead.gseq);
     }
   }
 }
@@ -502,10 +583,13 @@ void BrRuntime::on_tick(std::int64_t now_us) {
   if (await_.active && now_us >= await_.next_resend_us) {
     if (await_.attempts >= cfg_.opts.max_retx) {
       await_.active = false;
-      ++counters_.token_dropped;  // leader watchdog regenerates
+      metrics_.incr(mid_.token_dropped);  // leader watchdog regenerates
+      fr_.record(obs::FrEvent::TokenDropped, now_us, await_.serial);
     } else {
       ++await_.attempts;
-      ++counters_.token_retx;
+      metrics_.incr(mid_.token_retx);
+      fr_.record(obs::FrEvent::TokenRetx, now_us, await_.serial,
+                 static_cast<std::uint64_t>(await_.attempts));
       tr_.send(next_br(), await_.frame_bytes);
       await_.next_resend_us = now_us + cfg_.opts.retx_timeout_us;
     }
@@ -526,7 +610,12 @@ void BrRuntime::on_tick(std::int64_t now_us) {
 
 ApRuntime::ApRuntime(ApConfig cfg, Transport& tr)
     : cfg_(std::move(cfg)), tr_(tr), attached_(cfg_.attached) {
+  mid_.intern_all(metrics_);
   for (NodeId mh : attached_) attached_set_.insert(mh.v);
+}
+
+RuntimeCounters ApRuntime::counters() const {
+  return read_counters(metrics_, mid_);
 }
 
 void ApRuntime::on_start(std::int64_t now_us) {
@@ -538,7 +627,7 @@ void ApRuntime::on_datagram(const Datagram& d, std::int64_t /*now_us*/) {
   if (d.kind == FrameKind::Control) {
     const auto ctl = decode_control(d.payload.data(), d.payload.size());
     if (!ctl) {
-      ++counters_.malformed;
+      metrics_.incr(mid_.malformed);
       return;
     }
     if (ctl->op == ControlOp::Start) start_seen_ = true;
@@ -548,7 +637,7 @@ void ApRuntime::on_datagram(const Datagram& d, std::int64_t /*now_us*/) {
     return;
   }
   if (d.payload.empty()) {
-    ++counters_.malformed;
+    metrics_.incr(mid_.malformed);
     return;
   }
   // The AP is a store-less relay: it peeks the envelope tag to pick a
@@ -574,7 +663,7 @@ void ApRuntime::on_datagram(const Datagram& d, std::int64_t /*now_us*/) {
       if (!uplink) break;
       const auto msg = proto::decode(d.payload.data(), d.payload.size());
       if (!msg) {
-        ++counters_.malformed;
+        metrics_.incr(mid_.malformed);
         return;
       }
       for (const auto& ev : msg->membership().events) {
@@ -606,9 +695,19 @@ void ApRuntime::on_tick(std::int64_t now_us) {
 
 MhRuntime::MhRuntime(MhConfig cfg, Transport& tr)
     : cfg_(std::move(cfg)), tr_(tr) {
+  mid_.intern_all(metrics_);
   period_us_ = cfg_.rate_hz > 0
                    ? static_cast<std::int64_t>(1e6 / cfg_.rate_hz)
                    : 0;
+}
+
+RuntimeCounters MhRuntime::counters() const {
+  return read_counters(metrics_, mid_);
+}
+
+stats::Histogram MhRuntime::latency_hist() const {
+  util::MutexLock lock(lat_mu_);
+  return live_lat_;
 }
 
 void MhRuntime::on_start(std::int64_t now_us) {
@@ -626,7 +725,7 @@ void MhRuntime::on_datagram(const Datagram& d, std::int64_t now_us) {
   if (d.kind == FrameKind::Control) {
     const auto ctl = decode_control(d.payload.data(), d.payload.size());
     if (!ctl) {
-      ++counters_.malformed;
+      metrics_.incr(mid_.malformed);
       return;
     }
     switch (ctl->op) {
@@ -646,7 +745,7 @@ void MhRuntime::on_datagram(const Datagram& d, std::int64_t now_us) {
   }
   const auto msg = proto::decode(d.payload.data(), d.payload.size());
   if (!msg) {
-    ++counters_.malformed;
+    metrics_.incr(mid_.malformed);
     return;
   }
   switch (msg->type()) {
@@ -686,7 +785,7 @@ void MhRuntime::on_datagram(const Datagram& d, std::int64_t now_us) {
 void MhRuntime::receive_ordered(const proto::DataMsg& msg,
                                 std::int64_t now_us) {
   if (msg.gseq < next_expected_ || !buf_.insert(msg.gseq, msg)) {
-    ++counters_.duplicates;
+    metrics_.incr(mid_.duplicates);
     return;
   }
   while (const proto::DataMsg* m = buf_.find(next_expected_)) {
@@ -703,7 +802,7 @@ void MhRuntime::receive_chain(const proto::DataMsg& msg, std::int64_t now_us) {
   // no contiguity assumption over the global sequence.
   const GlobalSeq coord = msg.gseq + 1;
   if (coord <= multi_tail_) {
-    ++counters_.duplicates;
+    metrics_.incr(mid_.duplicates);
     return;
   }
   const auto [held, inserted] = held_.emplace(coord, msg);
@@ -713,7 +812,7 @@ void MhRuntime::receive_chain(const proto::DataMsg& msg, std::int64_t now_us) {
     // the stale held link and the member waits forever on a frame that
     // can no longer arrive. Merge the lower link and re-drain.
     if (msg.prev_chain >= held->second.prev_chain) {
-      ++counters_.duplicates;
+      metrics_.incr(mid_.duplicates);
       return;
     }
     held->second.prev_chain = msg.prev_chain;
@@ -728,25 +827,33 @@ void MhRuntime::receive_chain(const proto::DataMsg& msg, std::int64_t now_us) {
     // the farthest-future frame — the BR's ack-driven resend replays it
     // once the member's tail catches up.
     held_.erase(std::prev(held_.end()));
-    ++counters_.duplicates;
+    metrics_.incr(mid_.duplicates);
   }
 }
 
 void MhRuntime::deliver(const proto::DataMsg& msg, std::int64_t now_us) {
+  // Total-order sanity: delivered gseqs must rise strictly. A violation is
+  // a protocol bug, so it also arms a flight-recorder dump.
+  if (!log_.empty() && msg.gseq <= log_.back().gseq) {
+    fr_.record(obs::FrEvent::OrderViolation, now_us, msg.gseq,
+               log_.back().gseq);
+  }
   log_.push_back(DeliveredRec{msg.gseq, msg.source, msg.lseq});
+  if (cfg_.opts.record_spans) deliver_times_us_.push_back(now_us);
+  fr_.record(obs::FrEvent::Deliver, now_us, msg.gseq);
   ++delivered_;
   if (msg.source == cfg_.source_id) {
     if (cfg_.groups.multi()) {
       const auto it = submit_times_us_.find(msg.lseq);
       if (it != submit_times_us_.end()) {
-        lat_us_.push_back(now_us - it->second);
+        record_latency(now_us - it->second);
         submit_times_us_.erase(it);
       }
       return;
     }
     for (auto it = pending_.begin(); it != pending_.end(); ++it) {
       if (it->msg.lseq == msg.lseq) {
-        lat_us_.push_back(now_us - it->submitted_us);
+        record_latency(now_us - it->submitted_us);
         pending_.erase(it);
         break;
       }
@@ -754,21 +861,30 @@ void MhRuntime::deliver(const proto::DataMsg& msg, std::int64_t now_us) {
   }
 }
 
+void MhRuntime::record_latency(std::int64_t lat_us) {
+  lat_us_.push_back(lat_us);
+  util::MutexLock lock(lat_mu_);
+  live_lat_.record(lat_us < 0 ? 0 : static_cast<std::uint64_t>(lat_us));
+}
+
 void MhRuntime::gap_skip_to(GlobalSeq floor, std::int64_t now_us) {
   bool in_gap = false;
+  std::uint64_t skipped = 0;
   while (next_expected_ < floor) {
     if (const proto::DataMsg* m = buf_.find(next_expected_)) {
       deliver(*m, now_us);
       in_gap = false;
     } else {
-      ++counters_.really_lost;
+      metrics_.incr(mid_.really_lost);
+      ++skipped;
       if (!in_gap) {
-        ++counters_.gaps_skipped;
+        metrics_.incr(mid_.gaps_skipped);
         in_gap = true;
       }
     }
     ++next_expected_;
   }
+  if (skipped > 0) fr_.record(obs::FrEvent::GapSkip, now_us, floor, skipped);
   buf_.drop_below(next_expected_);
   while (const proto::DataMsg* m = buf_.find(next_expected_)) {
     deliver(*m, now_us);
@@ -788,6 +904,8 @@ void MhRuntime::submit_one(std::int64_t now_us) {
     if (!m.groups.empty()) m.gid = m.groups[0];
     submit_times_us_.emplace(m.lseq, now_us);
   }
+  if (cfg_.opts.record_spans) span_submits_.emplace_back(m.lseq, now_us);
+  fr_.record(obs::FrEvent::Submit, now_us, m.lseq);
   pending_.push_back(PendingSubmit{m, now_us, now_us, 0});
   tr_.send_msg(cfg_.ap, proto::Message(m));
   next_submit_us_ += period_us_;
@@ -797,7 +915,7 @@ void MhRuntime::send_ack() {
   const GlobalSeq wm = cfg_.groups.multi() ? multi_tail_ : next_expected_;
   tr_.send_msg(cfg_.ap, proto::Message(proto::DeliveryAckMsg{
                             kRuntimeGroup, cfg_.self, wm}));
-  ++counters_.acks_sent;
+  metrics_.incr(mid_.acks_sent);
 }
 
 void MhRuntime::on_tick(std::int64_t now_us) {
@@ -818,7 +936,7 @@ void MhRuntime::on_tick(std::int64_t now_us) {
   while (!pending_.empty() && pending_.front().attempts >= cfg_.opts.max_retx &&
          now_us - pending_.front().last_send_us >= cfg_.opts.retx_timeout_us) {
     pending_.pop_front();
-    ++counters_.uplink_dropped;
+    metrics_.incr(mid_.uplink_dropped);
   }
   std::size_t scanned = 0;
   for (auto& p : pending_) {
@@ -832,7 +950,9 @@ void MhRuntime::on_tick(std::int64_t now_us) {
       ++p.attempts;
       p.last_send_us = now_us;
       tr_.send_msg(cfg_.ap, proto::Message(p.msg));
-      ++counters_.uplink_retx;
+      metrics_.incr(mid_.uplink_retx);
+      fr_.record(obs::FrEvent::UplinkRetx, now_us, p.msg.lseq,
+                 static_cast<std::uint64_t>(p.attempts));
     }
   }
   if (now_us >= next_ack_us_) {
@@ -853,7 +973,9 @@ void MhRuntime::on_tick(std::int64_t now_us) {
 // SsRuntime
 
 SsRuntime::SsRuntime(SsConfig cfg, Transport& tr)
-    : cfg_(std::move(cfg)), tr_(tr) {}
+    : cfg_(std::move(cfg)), tr_(tr) {
+  mid_heartbeats_ = metrics_.intern(names::kSsHeartbeats);
+}
 
 void SsRuntime::on_start(std::int64_t now_us) {
   next_bcast_us_ = now_us + cfg_.opts.handshake_resend_us;
@@ -887,6 +1009,7 @@ void SsRuntime::on_datagram(const Datagram& d, std::int64_t /*now_us*/) {
   const auto msg = proto::decode(d.payload.data(), d.payload.size());
   if (msg && msg->type() == proto::MsgType::Heartbeat) {
     last_beat_[d.src.v] = msg->heartbeat().beat;
+    metrics_.incr(mid_heartbeats_);
   }
 }
 

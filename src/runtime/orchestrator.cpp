@@ -1,6 +1,7 @@
 #include "runtime/orchestrator.hpp"
 
 #include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "core/analysis.hpp"
@@ -215,6 +216,68 @@ LoopbackResult run_loopback(const LoopbackSpec& raw_spec) {
   }
   for (const auto& node : br_nodes) out.counters.merge(node->counters());
   for (const auto& node : ap_nodes) out.counters.merge(node->counters());
+  if (spec.opts.record_spans) {
+    // Join the four stamp sources per delivery. Keys are (source, lseq);
+    // scripted loopback workloads keep lseq far below 2^32.
+    struct AssignInfo {
+      std::int64_t uplink_rx_us = 0;
+      std::int64_t assigned_us = 0;
+    };
+    const auto span_key = [](std::uint32_t src, std::uint64_t lseq) {
+      return (static_cast<std::uint64_t>(src) << 32) ^ lseq;
+    };
+    std::unordered_map<std::uint64_t, AssignInfo> assigns;
+    for (const auto& node : br_nodes) {
+      for (const SpanAssignRec& r : node->span_assigned()) {
+        assigns.emplace(span_key(r.source.v, r.lseq),
+                        AssignInfo{r.uplink_rx_us, r.assigned_us});
+      }
+    }
+    std::unordered_map<std::uint64_t, std::int64_t> submits;
+    for (std::size_t m = 0; m < n_mh; ++m) {
+      for (const auto& [lseq, t] : mh_nodes[m]->span_submits()) {
+        submits.emplace(span_key(static_cast<std::uint32_t>(m), lseq), t);
+      }
+    }
+    for (std::size_t m = 0; m < n_mh; ++m) {
+      const MhRuntime& node = *mh_nodes[m];
+      const auto& relay =
+          br_nodes[(m / spec.mhs_per_ap) / spec.aps_per_br]->span_relay_rx_us();
+      const auto& recs = node.deliveries();
+      const auto& times = node.deliver_times_us();
+      for (std::size_t i = 0; i < recs.size() && i < times.size(); ++i) {
+        const DeliveredRec& r = recs[i];
+        const auto s_it = submits.find(span_key(r.source.v, r.lseq));
+        const auto a_it = assigns.find(span_key(r.source.v, r.lseq));
+        const auto rl_it = relay.find(r.gseq);
+        if (s_it == submits.end() || a_it == assigns.end() ||
+            rl_it == relay.end()) {
+          continue;
+        }
+        const std::int64_t submit = s_it->second;
+        const AssignInfo& a = a_it->second;
+        const std::int64_t relay_rx = rl_it->second;
+        const std::int64_t deliver = times[i];
+        // Stamps must cascade monotonically; a message whose stamps were
+        // perturbed by retransmission edge cases is skipped, not clamped.
+        if (a.uplink_rx_us < submit || a.assigned_us < a.uplink_rx_us ||
+            relay_rx < a.assigned_us || deliver < relay_rx) {
+          continue;
+        }
+        out.spans.record(obs::SpanStage::Submit,
+                         static_cast<std::uint64_t>(a.uplink_rx_us - submit));
+        out.spans.record(
+            obs::SpanStage::Assign,
+            static_cast<std::uint64_t>(a.assigned_us - a.uplink_rx_us));
+        out.spans.record(
+            obs::SpanStage::Relay,
+            static_cast<std::uint64_t>(relay_rx - a.assigned_us));
+        out.spans.record(obs::SpanStage::Deliver,
+                         static_cast<std::uint64_t>(deliver - relay_rx));
+        out.spans.record_total(static_cast<std::uint64_t>(deliver - submit));
+      }
+    }
+  }
   for (const auto& tr : transports) {
     out.frames_sent += tr->sent();
     out.frames_received += tr->received();

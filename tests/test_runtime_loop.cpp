@@ -296,4 +296,136 @@ TEST(mh_chain_hold_queue_is_bounded) {
   CHECK_EQ(mh.deliveries().back().gseq, 2 + cap - 1);
 }
 
+// --- flight recorder through the live roles --------------------------------
+
+TEST(mh_flight_recorder_wraps_under_load) {
+  InProcNet net;
+  auto mh_id = NodeId::make(Tier::MH, 4);
+  auto tr = net.attach(mh_id);
+  (void)net.attach(NodeId::make(Tier::AP, 0));
+
+  MhConfig cfg;
+  cfg.self = mh_id;
+  cfg.source_id = NodeId{4};
+  cfg.ap = NodeId::make(Tier::AP, 0);
+  cfg.ss = NodeId{0x00FFFFFEu};
+  MhRuntime mh(cfg, *tr);
+  mh.on_start(0);
+
+  const auto src = NodeId{3};
+  const std::uint64_t n = obs::FlightRecorder::kDefaultCapacity + 50;
+  for (std::uint64_t g = 0; g < n; ++g) {
+    mh.on_datagram(proto_datagram(proto::Message(ordered_data(g, src, g))),
+                   static_cast<std::int64_t>(10 * g));
+  }
+  CHECK_EQ(mh.delivered_count(), n);
+  const auto& fr = mh.flight_recorder();
+  CHECK_EQ(fr.size(), fr.capacity());  // ring is full and wrapped
+  CHECK(fr.total_recorded() >= n);     // every delivery was recorded
+  const auto snap = mh.flight_recorder().snapshot();
+  CHECK_EQ(snap.size(), fr.capacity());
+  // Newest retained event is the last delivery; the oldest deliveries were
+  // overwritten.
+  CHECK(snap.back().kind == obs::FrEvent::Deliver);
+  CHECK_EQ(snap.back().a, n - 1);
+  // Routine traffic never arms an auto-dump, but an on-demand dump (the
+  // daemon's SIGUSR1 path) renders the retained window as one JSON line.
+  CHECK(!mh.flight_recorder().take_dump_request());
+  const std::string json = fr.dump_json("mh[4]", "sigusr1");
+  CHECK(json.find("\"reason\":\"sigusr1\"") != std::string::npos);
+  CHECK(json.find("\"ev\":\"deliver\"") != std::string::npos);
+}
+
+TEST(mh_chain_regression_rejected_without_dump) {
+  // The receive layer rejects any chain frame whose coordinate is at or
+  // below the live tail, so a regressed gseq can never reach deliver()'s
+  // order-violation arm from the wire — the auto-dump stays quiet and the
+  // frame is accounted as a duplicate. (The arming semantics themselves
+  // are unit-covered in test_obs; deliver()'s check is defense-in-depth
+  // against a future receive-path bug.)
+  InProcNet net;
+  auto mh_id = NodeId::make(Tier::MH, 5);
+  auto tr = net.attach(mh_id);
+  (void)net.attach(NodeId::make(Tier::AP, 0));
+  MhRuntime mh(chain_cfg(mh_id), *tr);
+  mh.on_start(0);
+
+  const auto src = NodeId{3};
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(5, 0, src, 1))), 10);
+  CHECK_EQ(mh.delivered_count(), 1u);
+  CHECK(!mh.flight_recorder().take_dump_request());
+  // gseq 3 (coordinate 4, below the tail at 6): rejected, not delivered.
+  mh.on_datagram(proto_datagram(proto::Message(chain_data(3, 6, src, 2))), 20);
+  CHECK_EQ(mh.delivered_count(), 1u);
+  CHECK_EQ(mh.counters().duplicates, 1u);
+  CHECK(!mh.flight_recorder().take_dump_request());
+  const std::string json = mh.flight_recorder().dump_json("mh[5]", "manual");
+  CHECK(json.find("\"ev\":\"order_violation\"") == std::string::npos);
+}
+
+TEST(br_token_loss_arms_watchdog_dump) {
+  // Scripted token loss at the BR: the peer BR never acks, the forward ARQ
+  // burns its budget (token_dropped arms a dump), and the leader's
+  // regeneration watchdog revives the ring (token_regen arms another).
+  InProcNet net;
+  const auto br0 = NodeId::make(Tier::BR, 0);
+  const auto br1 = NodeId::make(Tier::BR, 1);
+  const auto ss = NodeId{0x00FFFFFEu};
+  auto tr = net.attach(br0);
+  (void)net.attach(br1);  // silent peer: every token transmission is lost
+  (void)net.attach(ss);
+
+  BrConfig cfg;
+  cfg.self = br0;
+  cfg.ss = ss;
+  cfg.ring = {br0, br1};
+  cfg.opts.token_hold_us = 200;
+  cfg.opts.retx_timeout_us = 1'000;
+  cfg.opts.max_retx = 2;
+  cfg.opts.heartbeat_period_us = 2'000;
+  cfg.opts.heartbeat_miss_limit = 4;
+  BrRuntime br(cfg, *tr);
+  br.on_start(0);
+
+  const std::int64_t horizon =
+      cfg.opts.token_regen_timeout_us() + 5 * cfg.opts.retx_timeout_us;
+  bool drop_dump_armed = false;
+  for (std::int64_t t = 100; t <= horizon; t += 100) {
+    br.on_tick(t);
+    if (br.counters().token_dropped >= 1 && !drop_dump_armed) {
+      // ARQ exhaustion armed the auto-dump before regeneration happened.
+      drop_dump_armed = br.flight_recorder().take_dump_request();
+    }
+  }
+  CHECK(drop_dump_armed);
+  const auto c = br.counters();
+  CHECK(c.token_retx >= 2);
+  CHECK(c.token_dropped >= 1);
+  CHECK(c.token_regenerated >= 1);
+  CHECK_EQ(br.epoch(), 2u);
+  // Regeneration re-armed the dump; its JSON names the watchdog event.
+  CHECK(br.flight_recorder().take_dump_request());
+  const std::string json = br.flight_recorder().dump_json("br[0]", "auto");
+  CHECK(json.find("\"ev\":\"token_dropped\"") != std::string::npos);
+  CHECK(json.find("\"ev\":\"token_regen\"") != std::string::npos);
+  // The unified registry reports the same vocabulary the sim uses.
+  CHECK_EQ(br.metrics().counter("token.dropped"), c.token_dropped);
+  CHECK_EQ(br.metrics().counter("token.regenerated"), c.token_regenerated);
+}
+
+TEST(loopback_spans_capture_all_stages) {
+  auto spec = tiny_spec();
+  spec.opts.record_spans = true;
+  const auto res = run_loopback(scaled(spec));
+  CHECK(res.completed);
+  CHECK(!res.spans.empty());
+  const auto expected =
+      static_cast<std::uint64_t>(spec.n_mhs()) * spec.expected_total();
+  CHECK_EQ(res.spans.total().count(), expected);
+  for (std::size_t i = 0; i < obs::kSpanStages; ++i) {
+    CHECK_EQ(res.spans.stage(static_cast<obs::SpanStage>(i)).count(),
+             expected);
+  }
+}
+
 TEST_MAIN()

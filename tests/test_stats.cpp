@@ -38,6 +38,51 @@ TEST(histogram_small_values_exact) {
   CHECK_EQ(h.p50(), std::uint64_t{31});
 }
 
+TEST(histogram_quantile_empty_is_zero) {
+  const stats::Histogram h;
+  // quantile() is the canonical spelling of percentile(); both must agree
+  // that an empty histogram reads 0 at every point.
+  CHECK_EQ(h.quantile(0.0), std::uint64_t{0});
+  CHECK_EQ(h.quantile(0.5), std::uint64_t{0});
+  CHECK_EQ(h.quantile(1.0), std::uint64_t{0});
+  CHECK_EQ(h.quantile(0.5), h.percentile(0.5));
+}
+
+TEST(histogram_quantile_single_sample_exact) {
+  stats::Histogram h;
+  h.record(37);
+  // One sample: every quantile is that sample (37 < the sub-bucket count,
+  // so the bucket is exact, not a log approximation).
+  CHECK_EQ(h.quantile(0.0), std::uint64_t{37});
+  CHECK_EQ(h.quantile(0.5), std::uint64_t{37});
+  CHECK_EQ(h.quantile(0.99), std::uint64_t{37});
+  CHECK_EQ(h.quantile(1.0), std::uint64_t{37});
+  CHECK_EQ(h.count(), std::uint64_t{1});
+  CHECK_EQ(h.max(), std::uint64_t{37});
+}
+
+TEST(histogram_merge_then_quantile_equals_pooled) {
+  // Recording a stream into shards and merging must be quantile-equivalent
+  // to recording the pooled stream into one histogram (the merge-on-read
+  // contract obs::Metrics relies on for sharded histograms).
+  stats::Histogram pooled;
+  stats::Histogram shard_a;
+  stats::Histogram shard_b;
+  for (std::uint64_t v = 0; v < 50000; ++v) {
+    pooled.record(v);
+    (v % 2 == 0 ? shard_a : shard_b).record(v);
+  }
+  stats::Histogram merged;
+  merged.merge_from(shard_a);
+  merged.merge_from(shard_b);
+  CHECK_EQ(merged.count(), pooled.count());
+  CHECK_EQ(merged.min(), pooled.min());
+  CHECK_EQ(merged.max(), pooled.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    CHECK_EQ(merged.quantile(q), pooled.quantile(q));
+  }
+}
+
 TEST(table_renders_rows) {
   stats::Table t("demo", {"name", "value", "ratio"});
   t.row().cell("alpha").cell(std::int64_t{42}).cell(0.51234, 3);

@@ -29,6 +29,8 @@ import sys
 
 # The protocol's hot paths (ISSUE 7): token forwarding, batch distribution
 # and delivery, codec encode/decode (owned and zero-copy), metrics incr.
+# The bench_obs micros (ISSUE 10) gate instrumentation overhead: the same
+# hot paths with span recording off/on, plus the registry and recorder.
 DEFAULT_GATES = [
     r"BM_TokenForwardRing",
     r"BM_DistributeBatchDeliver",
@@ -37,6 +39,12 @@ DEFAULT_GATES = [
     r"BM_TokenDecodeView/.*",
     r"BM_TokenSerialize/.*",
     r"BM_MetricsIncrInterned",
+    r"BM_TokenForwardRing_NoSpans",
+    r"BM_TokenForwardRing_Spans",
+    r"BM_DistributeBatchDeliver_NoSpans",
+    r"BM_DistributeBatchDeliver_Spans",
+    r"BM_MetricsIncr",
+    r"BM_FlightRecorderRecord",
 ]
 
 

@@ -53,6 +53,17 @@ RN007 hardcoded-group
     a baked-in group id is the single-group assumption sneaking back.
     The zero sentinel (`GroupId{0}` == unset) stays allowed.
 
+RN008 adhoc-metric-name
+    No string-literal metric/span name at a registry call site
+    (`intern("...")`, `intern_hist("...")`, `counter("...")`,
+    `gauge("...")`, `hist("...")`, `incr("...")`, `gauge_max("...")`,
+    `hist_record("...")`) in core, sim, runtime, obs, or baseline code.
+    Names must come from the constants in obs/names.hpp so the sim oracle
+    and the UDP runtime report one vocabulary — a metric that exists under
+    two spellings is worse than no metric. obs/names.hpp itself is the
+    one place the spellings live; benches, tests, and tools keep free-form
+    names.
+
 Self-test
 ---------
 `--self-test` seeds one violation per rule in a scratch tree and fails
@@ -249,6 +260,36 @@ def check_hardcoded_group(root):
 
 
 # --------------------------------------------------------------------------
+# RN008: ad-hoc metric/span name literal at a registry call site
+
+ADHOC_NAME_RE = re.compile(
+    r"\.(incr|gauge_max|counter|gauge|intern|intern_hist|hist|hist_record)"
+    r'\s*\(\s*"')
+
+RN008_DIRS = ("include/core", "src/core", "include/sim", "src/sim",
+              "include/runtime", "src/runtime", "include/obs", "src/obs",
+              "include/baseline", "src/baseline")
+
+
+def check_adhoc_metric_name(root):
+    findings = []
+    for path in repo_files(root, RN008_DIRS):
+        r = rel(root, path)
+        if r.replace(os.sep, "/") == "include/obs/names.hpp":
+            continue  # the one table the spellings live in
+        for i, text in enumerate(open(path, encoding="utf-8"), 1):
+            m = ADHOC_NAME_RE.search(text)
+            if m:
+                findings.append(Finding(
+                    "RN008", r, i,
+                    f"string-literal metric name at Metrics::{m.group(1)}() "
+                    "on a core/runtime path; use a constant from "
+                    "obs/names.hpp so sim and runtime share one metric "
+                    "vocabulary"))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # RN005: header self-containment
 
 def check_header_self_containment(root, cxx):
@@ -287,6 +328,7 @@ def run_checks(root, cxx, with_headers=True):
     findings += check_stdout_in_library(root)
     findings += check_raw_wall_clock(root)
     findings += check_hardcoded_group(root)
+    findings += check_adhoc_metric_name(root)
     if with_headers:
         findings += check_header_self_containment(root, cxx)
     return findings
@@ -366,10 +408,20 @@ def self_test(cxx):
               "constexpr GroupId kG{1};\n"
               "void g(M& m) { m.gid = GroupId{0}; }\n")
 
+        # RN008: ad-hoc name literal at a registry call; the names-constant
+        # call and free-form bench names must NOT fire.
+        write("src/runtime/bad_name.cpp",
+              'void f(M& m) { m.metrics().intern("my.adhoc.name"); }\n')
+        write("src/runtime/good_name.cpp",
+              "void f(M& m) { m.intern(obs::names::kTokenHeld); }\n"
+              "void g(M& m) { (void)m.hist(obs::names::kMhLatencyUs); }\n")
+        write("bench/ok_name.cpp",
+              'void f(M& m) { m.intern("bench.freeform"); }\n')
+
         findings = run_checks(tmp, cxx)
         fired = {f.rule for f in findings}
         for rule in ("RN001", "RN002", "RN003", "RN004", "RN005", "RN006",
-                     "RN007"):
+                     "RN007", "RN008"):
             if rule not in fired:
                 failures.append(f"{rule} did not fire on its seeded "
                                 "violation")
@@ -382,7 +434,9 @@ def self_test(cxx):
                             ("RN006", "ok_clock.cpp"),
                             ("RN006", "clock.hpp"),
                             ("RN006", "ok_wait.cpp"),
-                            ("RN007", "good_group.cpp")):
+                            ("RN007", "good_group.cpp"),
+                            ("RN008", "good_name.cpp"),
+                            ("RN008", "ok_name.cpp")):
             if (rule, fname) in by_file:
                 failures.append(f"{rule} false-positive on {fname}")
     if failures:
